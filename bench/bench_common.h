@@ -1,0 +1,100 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every bench prints the paper-reported values next to the measured ones.
+// Defaults are reduced-scale (CPU-minutes); ADEPT_BENCH_* env vars scale
+// toward paper scale:
+//   ADEPT_BENCH_TRAIN        training-set size        (default 384)
+//   ADEPT_BENCH_TEST         test-set size            (default 256)
+//   ADEPT_BENCH_EPOCHS       retraining epochs        (default 3)
+//   ADEPT_BENCH_SEARCH_EPOCHS search epochs           (default 5)
+//   ADEPT_BENCH_WIDTH        proxy CNN width          (default 6)
+//   ADEPT_BENCH_FULL=1       lift the reductions (paper-sized runs)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/env.h"
+#include "common/table.h"
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "photonics/builders.h"
+
+namespace adept::bench {
+
+struct BenchScale {
+  int train_n;
+  int test_n;
+  int retrain_epochs;
+  int search_epochs;
+  int cnn_width;
+  int batch;
+
+  static BenchScale from_env() {
+    BenchScale s;
+    const bool full = bench_full_scale();
+    s.train_n = env_int("ADEPT_BENCH_TRAIN", full ? 4096 : 384);
+    s.test_n = env_int("ADEPT_BENCH_TEST", full ? 1024 : 256);
+    s.retrain_epochs = env_int("ADEPT_BENCH_EPOCHS", full ? 10 : 3);
+    s.search_epochs = env_int("ADEPT_BENCH_SEARCH_EPOCHS", full ? 30 : 5);
+    s.cnn_width = env_int("ADEPT_BENCH_WIDTH", full ? 32 : 6);
+    s.batch = env_int("ADEPT_BENCH_BATCH", 24);
+    return s;
+  }
+};
+
+// Run the ADEPT search for one footprint target on the CNN proxy task.
+inline core::SearchResult run_search(int k, const photonics::Pdk& pdk, double f_min,
+                                     double f_max, const BenchScale& scale,
+                                     const data::SyntheticDataset& train,
+                                     const data::SyntheticDataset& val,
+                                     std::uint64_t seed,
+                                     int max_super_blocks = 10) {
+  core::SearchConfig config;
+  config.mesh.k = k;
+  config.mesh.super_blocks_per_unitary = 0;  // derive from Eq. 16
+  config.max_super_blocks_per_unitary = max_super_blocks;
+  config.footprint.pdk = pdk;
+  config.footprint.f_min = f_min;
+  config.footprint.f_max = f_max;
+  config.epochs = scale.search_epochs;
+  config.warmup_epochs = std::max(1, scale.search_epochs / 9);
+  config.spl_epoch = std::max(1, scale.search_epochs * 5 / 9);
+  config.steps_per_epoch = 12;
+  config.alm.rho0 = 1e-4 * k / 8.0;
+  config.seed = seed;
+  nn::OnnProxyTask task(train, val, scale.batch, scale.cnn_width, seed + 1);
+  core::AdeptSearcher searcher(config, task);
+  return searcher.run();
+}
+
+// Re-train a fresh proxy CNN with a frozen topology; returns test accuracy.
+inline double retrain_accuracy(const photonics::PtcTopology& topo,
+                               const data::SyntheticDataset& train,
+                               const data::SyntheticDataset& test,
+                               const BenchScale& scale, std::uint64_t seed,
+                               double phase_noise = 0.0) {
+  auto shared = std::make_shared<photonics::PtcTopology>(topo);
+  adept::Rng rng(seed);
+  auto model = nn::make_proxy_cnn(train.spec().channels, train.spec().height,
+                                  train.spec().classes, nn::PtcBinding::fixed(shared),
+                                  rng, scale.cnn_width);
+  nn::TrainConfig config;
+  config.epochs = scale.retrain_epochs;
+  config.batch_size = scale.batch;
+  config.seed = seed;
+  config.train_phase_noise = phase_noise;
+  const auto stats = nn::train_classifier(model, train, test, config);
+  return stats.final_accuracy;
+}
+
+inline std::string census_str(const photonics::PtcTopology& topo) {
+  const auto c = topo.counts();
+  return std::to_string(c.cr) + "/" + std::to_string(c.dc) + "/" +
+         std::to_string(c.blocks);
+}
+
+}  // namespace adept::bench

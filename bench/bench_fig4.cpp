@@ -1,0 +1,114 @@
+// Fig. 4 reproduction: accuracy vs phase-noise std for 16x16 PTCs with
+// variation-aware training (sigma=0.02 during training), mean +/- 3-sigma
+// uncertainty over repeated noisy evaluations.
+//   (a) 2-layer CNN on synthetic-MNIST
+//   (b) LeNet-5 on synthetic-FMNIST
+// Shape target: MZI degrades fastest (deepest mesh); FFT and the searched
+// ADEPT designs stay flat or degrade gently.
+#include <cmath>
+
+#include "bench_common.h"
+#include "nn/variation.h"
+
+namespace data = adept::data;
+namespace nn = adept::nn;
+namespace ph = adept::photonics;
+using adept::Table;
+using adept::bench::BenchScale;
+
+namespace {
+
+struct NoisyEval {
+  double mean, band3;  // mean and 3*std over runs
+};
+
+NoisyEval eval_under_noise(nn::OnnModel& model, const data::SyntheticDataset& test,
+                           double sigma, int runs) {
+  double s = 0, s2 = 0;
+  for (int r = 0; r < runs; ++r) {
+    const double acc =
+        nn::evaluate_accuracy(model, test, 64, sigma, static_cast<std::uint64_t>(r * 7 + 1));
+    s += acc;
+    s2 += acc * acc;
+  }
+  const double mean = s / runs;
+  const double var = std::max(s2 / runs - mean * mean, 0.0);
+  return {mean, 3.0 * std::sqrt(var)};
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale = BenchScale::from_env();
+  scale.train_n = adept::env_int("ADEPT_BENCH_TRAIN", adept::bench_full_scale() ? 4096 : 288);
+  const int runs = adept::env_int("ADEPT_BENCH_NOISE_RUNS",
+                                  adept::bench_full_scale() ? 20 : 5);
+  const int k = 16;
+  const ph::Pdk pdk = ph::Pdk::amf();
+  const double sigmas[] = {0.02, 0.04, 0.06, 0.08, 0.10};
+
+  // Designs: baselines + searched a2/a4 (searched on the MNIST-like proxy).
+  const auto proxy_spec = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset proxy_train(proxy_spec, scale.train_n, 1);
+  data::SyntheticDataset proxy_val(proxy_spec, scale.test_n, 2);
+  std::printf("searching ADEPT-a2 and ADEPT-a4 (16x16, AMF)...\n");
+  const auto a2 = adept::bench::run_search(k, pdk, 672, 840, scale, proxy_train,
+                                           proxy_val, 71).topology;
+  const auto a4 = adept::bench::run_search(k, pdk, 1056, 1320, scale, proxy_train,
+                                           proxy_val, 72).topology;
+  struct Design {
+    std::string name;
+    std::shared_ptr<const ph::PtcTopology> topo;
+  };
+  const std::vector<Design> designs = {
+      {"MZI", std::make_shared<ph::PtcTopology>(ph::clements_mzi(k))},
+      {"FFT", std::make_shared<ph::PtcTopology>(ph::butterfly(k))},
+      {"ADEPT-a2", std::make_shared<ph::PtcTopology>(a2)},
+      {"ADEPT-a4", std::make_shared<ph::PtcTopology>(a4)},
+  };
+
+  struct Panel {
+    const char* title;
+    const char* model;
+    data::DatasetSpec spec;
+  };
+  const Panel panels[] = {
+      {"(a) 2-layer CNN on synthetic-MNIST", "cnn", data::DatasetSpec::mnist_like()},
+      {"(b) LeNet-5 on synthetic-FMNIST", "lenet", data::DatasetSpec::fmnist_like()},
+  };
+
+  for (const auto& panel : panels) {
+    std::printf("\n=== Fig. 4%s ===\n", panel.title);
+    data::SyntheticDataset train(panel.spec, scale.train_n, 5);
+    data::SyntheticDataset test(panel.spec, scale.test_n, 6);
+    Table table({"design", "s=0.02", "0.04", "0.06", "0.08", "0.10", "(mean +/- 3sigma)"});
+    for (const auto& d : designs) {
+      adept::Rng rng(91);
+      nn::OnnModel model;
+      if (std::string(panel.model) == "cnn") {
+        model = nn::make_proxy_cnn(1, panel.spec.height, 10,
+                                   nn::PtcBinding::fixed(d.topo), rng, scale.cnn_width);
+      } else {
+        model = nn::make_lenet5(1, panel.spec.height, 10, nn::PtcBinding::fixed(d.topo),
+                                rng, /*width_scale=*/0.5);
+      }
+      nn::TrainConfig config;
+      config.epochs = scale.retrain_epochs;
+      config.batch_size = scale.batch;
+      config.train_phase_noise = 0.02;  // variation-aware training
+      nn::train_classifier(model, train, test, config);
+      std::vector<std::string> row = {d.name};
+      for (double sigma : sigmas) {
+        const auto e = eval_under_noise(model, test, sigma, runs);
+        row.push_back(Table::fmt(e.mean * 100, 1) + "+-" + Table::fmt(e.band3 * 100, 1));
+      }
+      row.push_back("");
+      table.add_row(row);
+      std::printf("  evaluated %s\n", d.name.c_str());
+    }
+    table.print(std::cout);
+  }
+  std::printf("\nShape target (paper): MZI curve collapses with sigma; FFT and the\n"
+              "ADEPT designs degrade gently and stay close together.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 5(a) reproduction: permutation-ALM ablation. Scan the initial penalty
+// coefficient rho0 from 1e-8 to 5e-6 and trace (i) the mean multiplier
+// lambda and (ii) the permutation error DeltaP (mean l1-l2 gap) over 2000
+// optimization steps. Shape target: for every rho0 the error converges
+// toward 0 while lambda ramps up — the method is insensitive to rho0.
+#include <cstdio>
+#include <iostream>
+
+#include "autograd/ops.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/alm.h"
+#include "core/reparam.h"
+#include "optim/optimizer.h"
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+
+int main() {
+  const int steps = adept::env_int("ADEPT_BENCH_ALM_STEPS", 2000);
+  const int k = 8;
+  const int blocks = 6;
+  const double rho0s[] = {1e-8, 5e-8, 1e-7, 5e-7, 1e-6, 5e-6};
+
+  std::printf("Fig. 5(a): permutation ALM, scan rho0 (K=%d, %d blocks, %d steps)\n\n",
+              k, blocks, steps);
+  adept::Table table({"rho0", "DeltaP @0", "@500", "@1000", "@1500", "@final",
+                      "lambda @final", "rho @final"});
+
+  for (double rho0 : rho0s) {
+    // Fresh relaxed permutations + a small matrix-fit objective so the task
+    // loss and the constraint interact as in real SuperMesh training.
+    adept::Rng rng(7);
+    std::vector<ag::Tensor> p_raw;
+    std::vector<ag::Tensor> targets;
+    for (int b = 0; b < blocks; ++b) {
+      p_raw.push_back(core::smoothed_identity_init(k, true));
+      std::vector<float> t(static_cast<std::size_t>(k * k));
+      for (auto& v : t) v = static_cast<float>(rng.normal(0.0, 0.3));
+      targets.push_back(ag::make_tensor(std::move(t), {k, k}, false));
+    }
+    core::AlmConfig config;
+    config.rho0 = rho0;
+    core::AlmState alm(static_cast<std::size_t>(blocks), k, config);
+    alm.set_horizon(steps);
+    adept::optim::Adam opt(p_raw, 2e-3);
+
+    std::vector<double> checkpoints;
+    double final_error = 0;
+    for (int step = 0; step < steps; ++step) {
+      std::vector<ag::Tensor> p_tilde;
+      for (auto& raw : p_raw) {
+        p_tilde.push_back(core::reparametrize_permutation(raw, 0.05f));
+      }
+      // Task: keep P~ close to a fixed random matrix (competes with the
+      // permutation constraint exactly like the NN loss does).
+      ag::Tensor loss = alm.penalty(p_tilde);
+      for (int b = 0; b < blocks; ++b) {
+        loss = ag::add(loss,
+                       ag::mul_scalar(ag::mean(ag::square(ag::sub(
+                                          p_tilde[static_cast<std::size_t>(b)],
+                                          targets[static_cast<std::size_t>(b)]))),
+                                      0.1f));
+      }
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      alm.update(p_tilde);
+      final_error = alm.permutation_error(p_tilde);
+      if (step == 0 || step == 500 || step == 1000 || step == 1500) {
+        checkpoints.push_back(final_error);
+      }
+    }
+    while (checkpoints.size() < 4) checkpoints.push_back(final_error);
+    char rho_label[32];
+    std::snprintf(rho_label, sizeof(rho_label), "%.0e", rho0);
+    table.add_row({rho_label, adept::Table::fmt(checkpoints[0], 4),
+                   adept::Table::fmt(checkpoints[1], 4),
+                   adept::Table::fmt(checkpoints[2], 4),
+                   adept::Table::fmt(checkpoints[3], 4),
+                   adept::Table::fmt(final_error, 4),
+                   adept::Table::fmt(alm.mean_lambda(), 6),
+                   adept::Table::fmt(alm.rho(), 6)});
+    std::printf("  rho0=%.0e done (final DeltaP=%.4f)\n", rho0, final_error);
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nShape target (paper Fig. 5a): DeltaP decays toward 0 for every rho0;\n"
+              "lambda grows faster for larger rho0. Convergence is insensitive to rho0.\n");
+  return 0;
+}

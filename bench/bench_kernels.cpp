@@ -1,0 +1,162 @@
+// google-benchmark microbenchmarks of the computational kernels underneath
+// the ADEPT stack: complex matmul, mesh transfer simulation, crossing
+// counting, SVD/Procrustes, SPL, permutation reparametrization, and one full
+// autograd training step of the matrix-fit proxy.
+#include <benchmark/benchmark.h>
+
+#include "autograd/complex.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/reparam.h"
+#include "core/spl.h"
+#include "core/supermesh.h"
+#include "optim/optimizer.h"
+#include "photonics/builders.h"
+#include "photonics/linalg.h"
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+namespace ph = adept::photonics;
+
+namespace {
+
+ag::Tensor random_tensor(std::vector<std::int64_t> shape, adept::Rng& rng,
+                         bool rg = false) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  std::vector<float> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+  return ag::make_tensor(std::move(data), std::move(shape), rg);
+}
+
+void BM_RealMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  adept::Rng rng(1);
+  ag::Tensor a = random_tensor({n, n}, rng);
+  ag::Tensor b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_RealMatmul)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ComplexMatmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  adept::Rng rng(2);
+  ag::CxTensor a = {random_tensor({n, n}, rng), random_tensor({n, n}, rng)};
+  ag::CxTensor b = {random_tensor({n, n}, rng), random_tensor({n, n}, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ag::cmatmul(a, b).re.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n * n);
+}
+BENCHMARK(BM_ComplexMatmul)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MeshTransfer(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto topo = ph::butterfly(k);
+  adept::Rng rng(3);
+  ph::MeshPhases phases;
+  for (std::size_t b = 0; b < topo.u_blocks.size(); ++b) {
+    std::vector<double> phi(static_cast<std::size_t>(k));
+    for (auto& p : phi) p = rng.uniform(-3.14, 3.14);
+    phases.per_block.push_back(phi);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph::mesh_transfer(topo.u_blocks, k, phases).data().data());
+  }
+}
+BENCHMARK(BM_MeshTransfer)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ClementsTransfer(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto topo = ph::clements_mzi(k);
+  adept::Rng rng(4);
+  ph::MeshPhases phases;
+  for (std::size_t b = 0; b < topo.u_blocks.size(); ++b) {
+    std::vector<double> phi(static_cast<std::size_t>(k));
+    for (auto& p : phi) p = rng.uniform(-3.14, 3.14);
+    phases.per_block.push_back(phi);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph::mesh_transfer(topo.u_blocks, k, phases).data().data());
+  }
+}
+BENCHMARK(BM_ClementsTransfer)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CrossingCount(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  adept::Rng rng(5);
+  const auto p = ph::Permutation::random(k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph::crossing_count(p));
+  }
+}
+BENCHMARK(BM_CrossingCount)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  adept::Rng rng(6);
+  ph::RMat m(n, n);
+  for (auto& v : m.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph::jacobi_svd(m).s.data());
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Spl(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  adept::Rng rng(7);
+  ph::RMat m(k, k);
+  for (auto& v : m.data()) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    adept::Rng inner(11);
+    benchmark::DoNotOptimize(
+        core::stochastic_permutation_legalization(m, inner).map().data());
+  }
+}
+BENCHMARK(BM_Spl)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PermReparam(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  ag::Tensor p = core::smoothed_identity_init(k, true);
+  for (auto _ : state) {
+    ag::Tensor out = core::reparametrize_permutation(p, 0.05f);
+    ag::Tensor loss = ag::sum(ag::square(out));
+    loss.backward();
+    p.zero_grad();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_PermReparam)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SuperMeshTrainStep(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  adept::Rng rng(8);
+  core::SuperMeshConfig config;
+  config.k = k;
+  config.super_blocks_per_unitary = 4;
+  config.always_on_per_unitary = 1;
+  core::SuperMesh mesh(config, rng);
+  std::vector<ag::Tensor> phases;
+  for (int b = 0; b < 4; ++b) phases.push_back(random_tensor({k}, rng, true));
+  auto params = mesh.topology_weights();
+  for (auto& p : phases) params.push_back(p);
+  adept::optim::Adam opt(params, 1e-3);
+  for (auto _ : state) {
+    mesh.begin_step(1.0, rng, true);
+    ag::CxTensor u = mesh.tile_unitary(core::Side::u, phases);
+    ag::Tensor loss = ag::add(ag::sum(ag::square(u.re)), ag::sum(ag::square(u.im)));
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_SuperMeshTrainStep)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Table 3 reproduction: transfer searched 16x16 PTCs (searched on the
+// synthetic-MNIST proxy with the 2-layer CNN) to LeNet-5 and VGG-8 on the
+// harder stand-in datasets (FMNIST / SVHN / CIFAR-10 equivalents), versus
+// the MZI and FFT baselines at their paper footprints.
+//
+// VGG-8 runs width-scaled for CPU tractability (ADEPT_BENCH_VGG_SCALE).
+#include "bench_common.h"
+
+namespace data = adept::data;
+namespace nn = adept::nn;
+namespace ph = adept::photonics;
+using adept::Table;
+using adept::bench::BenchScale;
+
+namespace {
+
+struct PaperCell {
+  double mzi, fft, a2, a4;
+};
+
+// Paper Table 3 accuracies (%).
+const PaperCell kPaperLenet[] = {{87.33, 85.87, 85.89, 87.07},   // FMNIST
+                                 {69.91, 65.04, 65.26, 69.20},   // SVHN
+                                 {51.40, 42.75, 51.26, 52.42}};  // CIFAR-10
+const PaperCell kPaperVgg[] = {{89.59, 88.62, 89.23, 89.16},
+                               {77.87, 75.22, 75.86, 77.20},
+                               {68.90, 63.57, 66.30, 68.50}};
+
+double train_model(const std::string& model_name,
+                   std::shared_ptr<const ph::PtcTopology> topo,
+                   const data::SyntheticDataset& train,
+                   const data::SyntheticDataset& test, const BenchScale& scale,
+                   double vgg_scale, std::uint64_t seed) {
+  adept::Rng rng(seed);
+  nn::OnnModel model;
+  if (model_name == "LeNet-5") {
+    model = nn::make_lenet5(train.spec().channels, train.spec().height, 10,
+                            nn::PtcBinding::fixed(topo), rng, /*width_scale=*/0.5);
+  } else {
+    model = nn::make_vgg8(train.spec().channels, train.spec().height, 10,
+                          nn::PtcBinding::fixed(topo), rng, vgg_scale);
+  }
+  nn::TrainConfig config;
+  config.epochs = scale.retrain_epochs;
+  config.batch_size = scale.batch;
+  config.seed = seed;
+  return nn::train_classifier(model, train, test, config).final_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale = BenchScale::from_env();
+  // Transfer training is the expensive part; trim further by default.
+  scale.train_n = adept::env_int("ADEPT_BENCH_TRAIN", adept::bench_full_scale() ? 4096 : 256);
+  scale.retrain_epochs = adept::env_int("ADEPT_BENCH_EPOCHS", adept::bench_full_scale() ? 10 : 2);
+  const double vgg_scale =
+      adept::env_double("ADEPT_BENCH_VGG_SCALE", adept::bench_full_scale() ? 1.0 : 0.09);
+  const ph::Pdk pdk = ph::Pdk::amf();
+  const int k = 16;
+
+  std::printf("Table 3: transfer of searched 16x16 PTCs to LeNet-5 / VGG-8 on\n"
+              "harder datasets (synthetic stand-ins). AMF PDK.\n");
+  std::printf("reduced scale: train=%d epochs=%d vgg_scale=%.3f\n\n", scale.train_n,
+              scale.retrain_epochs, vgg_scale);
+
+  // Search a2 / a4 on the MNIST-like proxy (paper: searched on MNIST + CNN).
+  const auto proxy_spec = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset proxy_train(proxy_spec, scale.train_n, 1);
+  data::SyntheticDataset proxy_val(proxy_spec, scale.test_n, 2);
+  std::printf("searching ADEPT-a2 [672, 840]...\n");
+  const auto a2 = adept::bench::run_search(k, pdk, 672, 840, scale, proxy_train,
+                                           proxy_val, 61).topology;
+  std::printf("searching ADEPT-a4 [1056, 1320]...\n");
+  const auto a4 = adept::bench::run_search(k, pdk, 1056, 1320, scale, proxy_train,
+                                           proxy_val, 62).topology;
+
+  struct Design {
+    std::string name;
+    std::shared_ptr<const ph::PtcTopology> topo;
+    double paper_footprint;
+  };
+  const std::vector<Design> designs = {
+      {"MZI", std::make_shared<ph::PtcTopology>(ph::clements_mzi(k)), 7683},
+      {"FFT", std::make_shared<ph::PtcTopology>(ph::butterfly(k)), 972},
+      {"ADEPT-a2", std::make_shared<ph::PtcTopology>(a2), 722},
+      {"ADEPT-a4", std::make_shared<ph::PtcTopology>(a4), 1206},
+  };
+  std::printf("\nfootprints (k-um^2): ");
+  for (const auto& d : designs) {
+    std::printf("%s=%.0f (paper %.0f)  ", d.name.c_str(),
+                d.topo->footprint_um2(pdk) / 1000.0, d.paper_footprint);
+  }
+  std::printf("\n\n");
+
+  const std::vector<std::pair<std::string, data::DatasetSpec>> datasets = {
+      {"FMNIST", data::DatasetSpec::fmnist_like()},
+      {"SVHN", data::DatasetSpec::svhn_like()},
+      {"CIFAR-10", data::DatasetSpec::cifar10_like()},
+  };
+  for (const std::string model_name : {"LeNet-5", "VGG-8"}) {
+    std::printf("--- %s ---\n", model_name.c_str());
+    Table table({"dataset", "MZI", "FFT", "ADEPT-a2", "ADEPT-a4", "paper (M/F/a2/a4)"});
+    for (std::size_t di = 0; di < datasets.size(); ++di) {
+      const auto& [ds_name, ds_spec] = datasets[di];
+      data::SyntheticDataset train(ds_spec, scale.train_n, 10 + di);
+      data::SyntheticDataset test(ds_spec, scale.test_n, 20 + di);
+      std::vector<std::string> row = {ds_name};
+      for (const auto& d : designs) {
+        const double acc = train_model(model_name, d.topo, train, test, scale,
+                                       vgg_scale, 700 + di);
+        row.push_back(Table::fmt(acc * 100, 2));
+        std::printf("  %s / %s / %s done\n", model_name.c_str(), ds_name.c_str(),
+                    d.name.c_str());
+      }
+      const PaperCell& p =
+          (model_name == "LeNet-5" ? kPaperLenet : kPaperVgg)[di];
+      row.push_back(Table::fmt(p.mzi, 1) + "/" + Table::fmt(p.fft, 1) + "/" +
+                    Table::fmt(p.a2, 1) + "/" + Table::fmt(p.a4, 1));
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "autograd/complex.h"
+
+#include <cmath>
+
+namespace adept::ag {
+
+CxTensor CxTensor::from_real(const Tensor& r) {
+  return {r, Tensor::zeros(r.shape())};
+}
+
+CxTensor CxTensor::zeros(std::vector<std::int64_t> shape) {
+  return {Tensor::zeros(shape), Tensor::zeros(shape)};
+}
+
+CxTensor CxTensor::eye(std::int64_t n) {
+  return {Tensor::eye(n), Tensor::zeros({n, n})};
+}
+
+CxTensor cmul(const CxTensor& a, const CxTensor& b) {
+  Tensor re = sub(mul(a.re, b.re), mul(a.im, b.im));
+  Tensor im = add(mul(a.re, b.im), mul(a.im, b.re));
+  return {re, im};
+}
+
+CxTensor cadd(const CxTensor& a, const CxTensor& b) {
+  return {add(a.re, b.re), add(a.im, b.im)};
+}
+
+CxTensor csub(const CxTensor& a, const CxTensor& b) {
+  return {sub(a.re, b.re), sub(a.im, b.im)};
+}
+
+CxTensor cmatmul(const CxTensor& a, const CxTensor& b) {
+  Tensor re = sub(matmul(a.re, b.re), matmul(a.im, b.im));
+  Tensor im = add(matmul(a.re, b.im), matmul(a.im, b.re));
+  return {re, im};
+}
+
+CxTensor cscale(const CxTensor& a, const Tensor& s) {
+  return {mul(a.re, s), mul(a.im, s)};
+}
+
+CxTensor cscale(const CxTensor& a, float s) {
+  return {mul_scalar(a.re, s), mul_scalar(a.im, s)};
+}
+
+CxTensor conj(const CxTensor& a) { return {a.re, neg(a.im)}; }
+
+CxTensor adjoint(const CxTensor& a) {
+  return {transpose(a.re), neg(transpose(a.im))};
+}
+
+Tensor cabs2(const CxTensor& a) { return add(square(a.re), square(a.im)); }
+
+CxTensor cexp_neg_i(const Tensor& phi) { return {cos(phi), neg(sin(phi))}; }
+
+CxTensor phase_column(const Tensor& phi) {
+  CxTensor e = cexp_neg_i(phi);
+  return {diag(e.re), diag(e.im)};
+}
+
+CxTensor coupler_column(const Tensor& t, std::int64_t k, std::int64_t start) {
+  check(t.ndim() == 1, "coupler_column: t must be 1-D");
+  const std::int64_t slots = t.numel();
+  check(start == 0 || start == 1, "coupler_column: start parity must be 0/1");
+  check(start + 2 * slots <= k, "coupler_column: too many slots for K");
+  const auto& td = t.data();
+
+  // Forward: assemble the dense [K,K] matrix.
+  std::vector<float> re(static_cast<std::size_t>(k * k), 0.0f);
+  std::vector<float> im(static_cast<std::size_t>(k * k), 0.0f);
+  for (std::int64_t i = 0; i < k; ++i) re[static_cast<std::size_t>(i * k + i)] = 1.0f;
+  for (std::int64_t s = 0; s < slots; ++s) {
+    const std::int64_t a = start + 2 * s;
+    const float tv = td[static_cast<std::size_t>(s)];
+    const float cross = std::sqrt(std::max(0.0f, 1.0f - tv * tv));
+    re[static_cast<std::size_t>(a * k + a)] = tv;
+    re[static_cast<std::size_t>((a + 1) * k + a + 1)] = tv;
+    im[static_cast<std::size_t>(a * k + a + 1)] = cross;
+    im[static_cast<std::size_t>((a + 1) * k + a)] = cross;
+  }
+
+  // Backward: gather gradients from the four cells of each slot.
+  //   d re[a,a]/dt = d re[a+1,a+1]/dt = 1
+  //   d im[a,a+1]/dt = d im[a+1,a]/dt = -t / sqrt(1 - t^2)
+  auto grad_into_t = [t, k, start, slots](TensorImpl& o, bool is_im) {
+    if (!t.requires_grad()) return;
+    auto& gt = const_cast<Tensor&>(t).grad();
+    const auto& td = t.data();
+    for (std::int64_t s = 0; s < slots; ++s) {
+      const std::int64_t a = start + 2 * s;
+      const float tv = td[static_cast<std::size_t>(s)];
+      if (!is_im) {
+        gt[static_cast<std::size_t>(s)] +=
+            o.grad[static_cast<std::size_t>(a * k + a)] +
+            o.grad[static_cast<std::size_t>((a + 1) * k + a + 1)];
+      } else {
+        const float denom = std::sqrt(std::max(1e-12f, 1.0f - tv * tv));
+        const float dcross = -tv / denom;
+        gt[static_cast<std::size_t>(s)] +=
+            dcross * (o.grad[static_cast<std::size_t>(a * k + a + 1)] +
+                      o.grad[static_cast<std::size_t>((a + 1) * k + a)]);
+      }
+    }
+  };
+  Tensor re_t = make_op(std::move(re), {k, k}, {t},
+                        [grad_into_t](TensorImpl& o) { grad_into_t(o, false); });
+  Tensor im_t = make_op(std::move(im), {k, k}, {t},
+                        [grad_into_t](TensorImpl& o) { grad_into_t(o, true); });
+  return {re_t, im_t};
+}
+
+CxTensor row_normalize(const CxTensor& a, float eps) {
+  Tensor norm2 = add(row_sum(square(a.re)), row_sum(square(a.im)));
+  Tensor inv = reciprocal(sqrt(add_scalar(norm2, eps)));
+  return {mul(a.re, inv), mul(a.im, inv)};
+}
+
+CxTensor col_normalize(const CxTensor& a, float eps) {
+  Tensor norm2 = add(col_sum(square(a.re)), col_sum(square(a.im)));
+  Tensor inv = reciprocal(sqrt(add_scalar(norm2, eps)));
+  return {mul(a.re, inv), mul(a.im, inv)};
+}
+
+}  // namespace adept::ag

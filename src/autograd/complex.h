@@ -1,0 +1,66 @@
+// Complex tensors as (re, im) pairs of real autograd tensors.
+//
+// Photonic transfer matrices are complex-valued; representing them as two
+// real tensors lets a single real-valued tape differentiate through complex
+// matrix chains (a complex matmul lowers to four real matmuls). Gradients are
+// the standard real-pair gradients, i.e. dL/d(re) and dL/d(im) independently,
+// which is exactly what training a real-valued loss requires.
+#pragma once
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace adept::ag {
+
+struct CxTensor {
+  Tensor re;
+  Tensor im;
+
+  bool defined() const { return re.defined() && im.defined(); }
+  const std::vector<std::int64_t>& shape() const { return re.shape(); }
+  std::int64_t dim(std::size_t i) const { return re.dim(i); }
+
+  // Complex tensor with zero imaginary part.
+  static CxTensor from_real(const Tensor& r);
+  static CxTensor zeros(std::vector<std::int64_t> shape);
+  static CxTensor eye(std::int64_t n);
+};
+
+// (a+bi)(c+di) = (ac-bd) + (ad+bc)i, elementwise with broadcasting.
+CxTensor cmul(const CxTensor& a, const CxTensor& b);
+CxTensor cadd(const CxTensor& a, const CxTensor& b);
+CxTensor csub(const CxTensor& a, const CxTensor& b);
+// Complex matrix product via four real matmuls.
+CxTensor cmatmul(const CxTensor& a, const CxTensor& b);
+// Multiply by a real tensor (broadcasting follows ops.h rules).
+CxTensor cscale(const CxTensor& a, const Tensor& s);
+CxTensor cscale(const CxTensor& a, float s);
+CxTensor conj(const CxTensor& a);
+// Conjugate transpose of a 2-D complex tensor.
+CxTensor adjoint(const CxTensor& a);
+// |z|^2 elementwise (real result).
+Tensor cabs2(const CxTensor& a);
+
+// exp(-i*phi) as a complex tensor: (cos phi, -sin phi). The photonic
+// phase-shifter response (paper Sec. 2.1).
+CxTensor cexp_neg_i(const Tensor& phi);
+
+// Diagonal phase-shifter column R(Phi) = diag(exp(-i*phi_k)) as [K,K].
+CxTensor phase_column(const Tensor& phi);
+
+// Directional-coupler column transfer matrix T_b as [K,K] (paper Sec. 3.2).
+//
+// `t` holds one transmission coefficient per coupler slot. Slot i couples
+// waveguides (s + 2i, s + 2i + 1) where s is the start parity. The 2x2 cell
+// is [[t, j*sqrt(1-t^2)], [j*sqrt(1-t^2), t]]; t == 1 degenerates to a bar
+// (identity) connection. Rows not covered by a slot pass through unchanged.
+// Both the real diagonal entries (t) and the imaginary cross terms
+// (sqrt(1-t^2)) carry gradients back into `t`.
+CxTensor coupler_column(const Tensor& t, std::int64_t k, std::int64_t start);
+
+// Row-wise l2 normalization of a complex matrix (norm over re^2 + im^2).
+// Stabilizes relaxed SuperMesh unitaries during search (paper Sec. 3.3.2).
+CxTensor row_normalize(const CxTensor& a, float eps = 1e-12f);
+CxTensor col_normalize(const CxTensor& a, float eps = 1e-12f);
+
+}  // namespace adept::ag

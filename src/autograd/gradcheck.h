@@ -1,0 +1,66 @@
+// Numerical gradient checking for tests.
+//
+// Compares analytic gradients from the tape against central finite
+// differences. Header-only; used by the gtest suites.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace adept::ag {
+
+struct GradcheckResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  std::string detail;
+};
+
+// `fn` maps the given inputs to a scalar tensor. Each input that requires
+// grad is perturbed elementwise; analytic grads must match central
+// differences within atol + rtol * |numeric|.
+inline GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double atol = 5e-3,
+    double rtol = 5e-2) {
+  GradcheckResult result;
+  // Analytic pass.
+  for (auto& t : inputs) t.zero_grad();
+  Tensor out = fn(inputs);
+  out.backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& t : inputs) {
+    analytic.push_back(t.requires_grad() ? t.grad() : std::vector<float>());
+  }
+  // Numeric pass.
+  for (std::size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    if (!t.requires_grad()) continue;
+    for (std::size_t i = 0; i < t.data().size(); ++i) {
+      const float orig = t.data()[i];
+      t.data()[i] = orig + static_cast<float>(eps);
+      const double fp = fn(inputs).item();
+      t.data()[i] = orig - static_cast<float>(eps);
+      const double fm = fn(inputs).item();
+      t.data()[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double diff = std::fabs(numeric - analytic[ti][i]);
+      result.max_abs_err = std::max(result.max_abs_err, diff);
+      if (diff > atol + rtol * std::fabs(numeric)) {
+        result.ok = false;
+        result.detail = "input " + std::to_string(ti) + " elem " +
+                        std::to_string(i) + ": analytic " +
+                        std::to_string(analytic[ti][i]) + " vs numeric " +
+                        std::to_string(numeric);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace adept::ag

@@ -1,0 +1,933 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace adept::ag {
+
+namespace {
+
+// Supported broadcast layouts for binary elementwise ops.
+enum class Bcast { same, a_scalar, b_scalar, b_row, b_col, a_row, a_col };
+
+Bcast classify(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return Bcast::same;
+  if (b.numel() == 1) return Bcast::b_scalar;
+  if (a.numel() == 1) return Bcast::a_scalar;
+  if (a.ndim() == 2 && (b.ndim() == 1 || b.ndim() == 2)) {
+    const std::int64_t n = a.dim(0), m = a.dim(1);
+    const std::int64_t bn = b.ndim() == 2 ? b.dim(0) : 1;
+    const std::int64_t bm = b.ndim() == 2 ? b.dim(1) : b.dim(0);
+    if (bn == 1 && bm == m) return Bcast::b_row;
+    if (bn == n && bm == 1) return Bcast::b_col;
+  }
+  if (b.ndim() == 2 && (a.ndim() == 1 || a.ndim() == 2)) {
+    const std::int64_t n = b.dim(0), m = b.dim(1);
+    const std::int64_t an = a.ndim() == 2 ? a.dim(0) : 1;
+    const std::int64_t am = a.ndim() == 2 ? a.dim(1) : a.dim(0);
+    if (an == 1 && am == m) return Bcast::a_row;
+    if (an == n && am == 1) return Bcast::a_col;
+  }
+  check(false, "binary op: unsupported broadcast");
+  return Bcast::same;  // unreachable
+}
+
+// Index of the broadcast operand's element feeding output element i.
+inline std::size_t bidx(Bcast k, std::size_t i, std::int64_t m) {
+  switch (k) {
+    case Bcast::b_scalar:
+    case Bcast::a_scalar:
+      return 0;
+    case Bcast::b_row:
+    case Bcast::a_row:
+      return i % static_cast<std::size_t>(m);
+    case Bcast::b_col:
+    case Bcast::a_col:
+      return i / static_cast<std::size_t>(m);
+    default:
+      return i;
+  }
+}
+
+// Generic binary elementwise with broadcast; fwd(a_i, b_i) and partials.
+template <typename Fwd, typename DfA, typename DfB>
+Tensor binary_op(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
+  const Bcast kind = classify(a, b);
+  const bool b_is_bcast =
+      kind == Bcast::b_scalar || kind == Bcast::b_row || kind == Bcast::b_col;
+  const bool a_is_bcast =
+      kind == Bcast::a_scalar || kind == Bcast::a_row || kind == Bcast::a_col;
+  const Tensor& big = a_is_bcast ? b : a;
+  const std::int64_t m = big.ndim() == 2 ? big.dim(1) : big.numel();
+
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  const std::size_t n = static_cast<std::size_t>(big.numel());
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ia = a_is_bcast ? bidx(kind, i, m) : i;
+    const std::size_t ib = b_is_bcast ? bidx(kind, i, m) : i;
+    out[i] = fwd(ad[ia], bd[ib]);
+  }
+  auto shape = big.shape();
+  return make_op(std::move(out), shape, {a, b},
+                 [a, b, kind, a_is_bcast, b_is_bcast, m, dfa, dfb](TensorImpl& o) {
+                   const auto& ad = a.data();
+                   const auto& bd = b.data();
+                   if (a.requires_grad()) {
+                     auto& ga = const_cast<Tensor&>(a).grad();
+                     for (std::size_t i = 0; i < o.grad.size(); ++i) {
+                       const std::size_t ia = a_is_bcast ? bidx(kind, i, m) : i;
+                       const std::size_t ib = b_is_bcast ? bidx(kind, i, m) : i;
+                       ga[ia] += o.grad[i] * dfa(ad[ia], bd[ib]);
+                     }
+                   }
+                   if (b.requires_grad()) {
+                     auto& gb = const_cast<Tensor&>(b).grad();
+                     for (std::size_t i = 0; i < o.grad.size(); ++i) {
+                       const std::size_t ia = a_is_bcast ? bidx(kind, i, m) : i;
+                       const std::size_t ib = b_is_bcast ? bidx(kind, i, m) : i;
+                       gb[ib] += o.grad[i] * dfb(ad[ia], bd[ib]);
+                     }
+                   }
+                 });
+}
+
+// Generic unary elementwise: fwd(x) with local derivative df(x, y).
+template <typename Fwd, typename Df>
+Tensor unary_op(const Tensor& a, Fwd fwd, Df df) {
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (std::size_t i = 0; i < ad.size(); ++i) out[i] = fwd(ad[i]);
+  return make_op(std::move(out), a.shape(), {a}, [a, df](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    const auto& ad = a.data();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) {
+      ga[i] += o.grad[i] * df(ad[i], o.data[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(
+      a, b,
+      [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; },
+                  [](float, float) { return -1.0f; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); },
+                  [](float, float y) { return y; });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+Tensor sin(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sin(x); },
+                  [](float x, float) { return std::cos(x); });
+}
+
+Tensor cos(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::cos(x); },
+                  [](float x, float) { return -std::sin(x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::fabs(x); },
+                  [](float x, float) {
+                    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+                  });
+}
+
+Tensor square(const Tensor& a) {
+  return unary_op(a, [](float x) { return x * x; },
+                  [](float x, float) { return 2.0f * x; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                  [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); },
+                  [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor reciprocal(const Tensor& a) {
+  auto safe = [](float x) {
+    const float ax = std::fabs(x);
+    if (ax < 1e-12f) return x < 0.0f ? -1e-12f : 1e-12f;
+    return x;
+  };
+  return unary_op(
+      a, [safe](float x) { return 1.0f / safe(x); },
+      [safe](float x, float) {
+        const float s = safe(x);
+        return -1.0f / (s * s);
+      });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; },
+                  [](float, float) { return 1.0f; });
+}
+
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; },
+                  [s](float, float) { return s; });
+}
+
+Tensor pow_scalar(const Tensor& a, float p) {
+  return unary_op(
+      a, [p](float x) { return std::pow(x, p); },
+      [p](float x, float) {
+        return p * std::pow(std::max(x, 1e-12f), p - 1.0f);
+      });
+}
+
+Tensor round_ste(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::round(x); },
+                  [](float, float) { return 1.0f; });
+}
+
+Tensor ste_replace(const Tensor& a, std::vector<float> forward_values) {
+  check(forward_values.size() == a.data().size(), "ste_replace: size mismatch");
+  return make_op(std::move(forward_values), a.shape(), {a}, [a](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) ga[i] += o.grad[i];
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.ndim() == 2 && b.ndim() == 2, "matmul: expects 2-D tensors");
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  check(b.dim(0) == k, "matmul: inner dims mismatch");
+  std::vector<float> out(static_cast<std::size_t>(n * m), 0.0f);
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  // ikj loop order for cache-friendly access of b and out.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = ad[static_cast<std::size_t>(i * k + kk)];
+      if (av == 0.0f) continue;
+      const float* brow = &bd[static_cast<std::size_t>(kk * m)];
+      float* orow = &out[static_cast<std::size_t>(i * m)];
+      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return make_op(std::move(out), {n, m}, {a, b}, [a, b, n, k, m](TensorImpl& o) {
+    const auto& ad = a.data();
+    const auto& bd = b.data();
+    if (a.requires_grad()) {
+      // dA = dO @ B^T
+      auto& ga = const_cast<Tensor&>(a).grad();
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < m; ++j) {
+          const float gv = o.grad[static_cast<std::size_t>(i * m + j)];
+          if (gv == 0.0f) continue;
+          const float* brow = &bd[static_cast<std::size_t>(j)];
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            ga[static_cast<std::size_t>(i * k + kk)] +=
+                gv * brow[static_cast<std::size_t>(kk * m)];
+          }
+        }
+      }
+    }
+    if (b.requires_grad()) {
+      // dB = A^T @ dO
+      auto& gb = const_cast<Tensor&>(b).grad();
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          const float av = ad[static_cast<std::size_t>(i * k + kk)];
+          if (av == 0.0f) continue;
+          const float* grow = &o.grad[static_cast<std::size_t>(i * m)];
+          float* gbrow = &gb[static_cast<std::size_t>(kk * m)];
+          for (std::int64_t j = 0; j < m; ++j) gbrow[j] += av * grow[j];
+        }
+      }
+    }
+  });
+}
+
+Tensor transpose(const Tensor& a) {
+  check(a.ndim() == 2, "transpose: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      out[static_cast<std::size_t>(j * n + i)] = ad[static_cast<std::size_t>(i * m + j)];
+    }
+  }
+  return make_op(std::move(out), {m, n}, {a}, [a, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        ga[static_cast<std::size_t>(i * m + j)] +=
+            o.grad[static_cast<std::size_t>(j * n + i)];
+      }
+    }
+  });
+}
+
+Tensor reshape(const Tensor& a, std::vector<std::int64_t> shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  check(n == a.numel(), "reshape: numel mismatch");
+  return make_op(a.data(), std::move(shape), {a}, [a](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) ga[i] += o.grad[i];
+  });
+}
+
+Tensor diag(const Tensor& v) {
+  const std::int64_t k = v.numel();
+  std::vector<float> out(static_cast<std::size_t>(k * k), 0.0f);
+  const auto& vd = v.data();
+  for (std::int64_t i = 0; i < k; ++i) out[static_cast<std::size_t>(i * k + i)] = vd[static_cast<std::size_t>(i)];
+  return make_op(std::move(out), {k, k}, {v}, [v, k](TensorImpl& o) {
+    if (!v.requires_grad()) return;
+    auto& gv = const_cast<Tensor&>(v).grad();
+    for (std::int64_t i = 0; i < k; ++i) {
+      gv[static_cast<std::size_t>(i)] += o.grad[static_cast<std::size_t>(i * k + i)];
+    }
+  });
+}
+
+Tensor diag_part(const Tensor& m) {
+  check(m.ndim() == 2 && m.dim(0) == m.dim(1), "diag_part: expects square");
+  const std::int64_t k = m.dim(0);
+  std::vector<float> out(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) out[static_cast<std::size_t>(i)] = m.at(i, i);
+  return make_op(std::move(out), {k}, {m}, [m, k](TensorImpl& o) {
+    if (!m.requires_grad()) return;
+    auto& gm = const_cast<Tensor&>(m).grad();
+    for (std::int64_t i = 0; i < k; ++i) {
+      gm[static_cast<std::size_t>(i * k + i)] += o.grad[static_cast<std::size_t>(i)];
+    }
+  });
+}
+
+Tensor sum(const Tensor& a) {
+  double acc = 0.0;
+  for (float x : a.data()) acc += x;
+  return make_op({static_cast<float>(acc)}, {1}, {a}, [a](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (auto& g : ga) g += o.grad[0];
+  });
+}
+
+Tensor mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return mul_scalar(sum(a), inv);
+}
+
+Tensor row_sum(const Tensor& a) {
+  check(a.ndim() == 2, "row_sum: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) acc += ad[static_cast<std::size_t>(i * m + j)];
+    out[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+  }
+  return make_op(std::move(out), {n, 1}, {a}, [a, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float g = o.grad[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < m; ++j) ga[static_cast<std::size_t>(i * m + j)] += g;
+    }
+  });
+}
+
+Tensor col_sum(const Tensor& a) {
+  check(a.ndim() == 2, "col_sum: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(m), 0.0f);
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      out[static_cast<std::size_t>(j)] += ad[static_cast<std::size_t>(i * m + j)];
+    }
+  }
+  return make_op(std::move(out), {1, m}, {a}, [a, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < m; ++j) {
+        ga[static_cast<std::size_t>(i * m + j)] += o.grad[static_cast<std::size_t>(j)];
+      }
+    }
+  });
+}
+
+Tensor row_l2_norm(const Tensor& a, float eps) {
+  Tensor sq = square(a);
+  Tensor s = row_sum(sq);
+  return sqrt(add_scalar(s, eps));
+}
+
+Tensor col_l2_norm(const Tensor& a, float eps) {
+  Tensor sq = square(a);
+  Tensor s = col_sum(sq);
+  return sqrt(add_scalar(s, eps));
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  check(a.ndim() == 2, "softmax_rows: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[static_cast<std::size_t>(i * m + j)]);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float e = std::exp(ad[static_cast<std::size_t>(i * m + j)] - mx);
+      out[static_cast<std::size_t>(i * m + j)] = e;
+      z += e;
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < m; ++j) out[static_cast<std::size_t>(i * m + j)] *= inv;
+  }
+  return make_op(std::move(out), {n, m}, {a}, [a, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    // dx = y * (dy - sum_j dy_j y_j) per row
+    for (std::int64_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < m; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i * m + j);
+        dot += static_cast<double>(o.grad[idx]) * o.data[idx];
+      }
+      for (std::int64_t j = 0; j < m; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i * m + j);
+        ga[idx] += o.data[idx] * (o.grad[idx] - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+Tensor log_softmax_rows(const Tensor& a) {
+  check(a.ndim() == 2, "log_softmax_rows: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[static_cast<std::size_t>(i * m + j)]);
+    double z = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) z += std::exp(ad[static_cast<std::size_t>(i * m + j)] - mx);
+    const float lz = mx + static_cast<float>(std::log(z));
+    for (std::int64_t j = 0; j < m; ++j) {
+      out[static_cast<std::size_t>(i * m + j)] = ad[static_cast<std::size_t>(i * m + j)] - lz;
+    }
+  }
+  return make_op(std::move(out), {n, m}, {a}, [a, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      double gsum = 0.0;
+      for (std::int64_t j = 0; j < m; ++j) gsum += o.grad[static_cast<std::size_t>(i * m + j)];
+      for (std::int64_t j = 0; j < m; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i * m + j);
+        ga[idx] += o.grad[idx] - std::exp(o.data[idx]) * static_cast<float>(gsum);
+      }
+    }
+  });
+}
+
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  check(logits.ndim() == 2, "cross_entropy: expects 2-D logits");
+  const std::int64_t n = logits.dim(0), m = logits.dim(1);
+  check(static_cast<std::int64_t>(labels.size()) == n, "cross_entropy: label count");
+  Tensor lsm = log_softmax_rows(logits);
+  // Mean negative log-likelihood via a custom gather op.
+  const auto& ld = lsm.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc -= ld[static_cast<std::size_t>(i * m + labels[static_cast<std::size_t>(i)])];
+  }
+  const float loss = static_cast<float>(acc / static_cast<double>(n));
+  return make_op({loss}, {1}, {lsm}, [lsm, labels, n, m](TensorImpl& o) {
+    if (!lsm.requires_grad()) return;
+    auto& g = const_cast<Tensor&>(lsm).grad();
+    const float scale = o.grad[0] / static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      g[static_cast<std::size_t>(i * m + labels[static_cast<std::size_t>(i)])] -= scale;
+    }
+  });
+}
+
+Tensor index(const Tensor& a, std::int64_t i) {
+  check(i >= 0 && i < a.numel(), "index: out of range");
+  return make_op({a.data()[static_cast<std::size_t>(i)]}, {1}, {a},
+                 [a, i](TensorImpl& o) {
+                   if (!a.requires_grad()) return;
+                   const_cast<Tensor&>(a).grad()[static_cast<std::size_t>(i)] += o.grad[0];
+                 });
+}
+
+Tensor slice2d(const Tensor& a, std::int64_t r0, std::int64_t rows,
+               std::int64_t c0, std::int64_t cols) {
+  check(a.ndim() == 2, "slice2d: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  check(r0 >= 0 && c0 >= 0 && r0 + rows <= n && c0 + cols <= m, "slice2d: bounds");
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      out[static_cast<std::size_t>(i * cols + j)] =
+          ad[static_cast<std::size_t>((r0 + i) * m + (c0 + j))];
+    }
+  }
+  return make_op(std::move(out), {rows, cols}, {a},
+                 [a, r0, c0, rows, cols, m](TensorImpl& o) {
+                   if (!a.requires_grad()) return;
+                   auto& ga = const_cast<Tensor&>(a).grad();
+                   for (std::int64_t i = 0; i < rows; ++i) {
+                     for (std::int64_t j = 0; j < cols; ++j) {
+                       ga[static_cast<std::size_t>((r0 + i) * m + (c0 + j))] +=
+                           o.grad[static_cast<std::size_t>(i * cols + j)];
+                     }
+                   }
+                 });
+}
+
+Tensor block_matrix(const std::vector<Tensor>& tiles, std::int64_t p, std::int64_t q) {
+  check(!tiles.empty() && static_cast<std::int64_t>(tiles.size()) == p * q,
+        "block_matrix: tile count mismatch");
+  const std::int64_t k = tiles[0].dim(0);
+  for (const auto& t : tiles) {
+    check(t.ndim() == 2 && t.dim(0) == k && t.dim(1) == k,
+          "block_matrix: tiles must be square and uniform");
+  }
+  const std::int64_t rows = p * k, cols = q * k;
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t bp = 0; bp < p; ++bp) {
+    for (std::int64_t bq = 0; bq < q; ++bq) {
+      const auto& td = tiles[static_cast<std::size_t>(bp * q + bq)].data();
+      for (std::int64_t i = 0; i < k; ++i) {
+        for (std::int64_t j = 0; j < k; ++j) {
+          out[static_cast<std::size_t>((bp * k + i) * cols + bq * k + j)] =
+              td[static_cast<std::size_t>(i * k + j)];
+        }
+      }
+    }
+  }
+  std::vector<Tensor> parents = tiles;
+  return make_op(std::move(out), {rows, cols}, parents,
+                 [tiles, p, q, k, cols](TensorImpl& o) {
+                   for (std::int64_t bp = 0; bp < p; ++bp) {
+                     for (std::int64_t bq = 0; bq < q; ++bq) {
+                       const Tensor& t = tiles[static_cast<std::size_t>(bp * q + bq)];
+                       if (!t.requires_grad()) continue;
+                       auto& gt = const_cast<Tensor&>(t).grad();
+                       for (std::int64_t i = 0; i < k; ++i) {
+                         for (std::int64_t j = 0; j < k; ++j) {
+                           gt[static_cast<std::size_t>(i * k + j)] += o.grad[static_cast<std::size_t>(
+                               (bp * k + i) * cols + bq * k + j)];
+                         }
+                       }
+                     }
+                   }
+                 });
+}
+
+Tensor concat_vec(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "concat_vec: empty input");
+  std::vector<float> out;
+  std::vector<std::int64_t> offsets;
+  for (const auto& p : parts) {
+    offsets.push_back(static_cast<std::int64_t>(out.size()));
+    out.insert(out.end(), p.data().begin(), p.data().end());
+  }
+  const std::int64_t total = static_cast<std::int64_t>(out.size());
+  return make_op(std::move(out), {total}, parts, [parts, offsets](TensorImpl& o) {
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+      const Tensor& p = parts[pi];
+      if (!p.requires_grad()) continue;
+      auto& gp = const_cast<Tensor&>(p).grad();
+      const std::size_t off = static_cast<std::size_t>(offsets[pi]);
+      for (std::size_t i = 0; i < gp.size(); ++i) gp[i] += o.grad[off + i];
+    }
+  });
+}
+
+Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad) {
+  check(x.ndim() == 4, "im2col: expects [N,C,H,W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  check(oh > 0 && ow > 0, "im2col: output is empty");
+  const std::int64_t cols = c * kh * kw;
+  std::vector<float> out(static_cast<std::size_t>(n * oh * ow * cols), 0.0f);
+  const auto& xd = x.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t yo = 0; yo < oh; ++yo) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        const std::int64_t row = (ni * oh + yo) * ow + xo;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t yi = yo * stride - pad + ky;
+            if (yi < 0 || yi >= h) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t xi = xo * stride - pad + kx;
+              if (xi < 0 || xi >= w) continue;
+              out[static_cast<std::size_t>(row * cols + (ci * kh + ky) * kw + kx)] =
+                  xd[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return make_op(std::move(out), {n * oh * ow, cols}, {x},
+                 [x, n, c, h, w, kh, kw, stride, pad, oh, ow, cols](TensorImpl& o) {
+                   if (!x.requires_grad()) return;
+                   auto& gx = const_cast<Tensor&>(x).grad();
+                   for (std::int64_t ni = 0; ni < n; ++ni) {
+                     for (std::int64_t yo = 0; yo < oh; ++yo) {
+                       for (std::int64_t xo = 0; xo < ow; ++xo) {
+                         const std::int64_t row = (ni * oh + yo) * ow + xo;
+                         for (std::int64_t ci = 0; ci < c; ++ci) {
+                           for (std::int64_t ky = 0; ky < kh; ++ky) {
+                             const std::int64_t yi = yo * stride - pad + ky;
+                             if (yi < 0 || yi >= h) continue;
+                             for (std::int64_t kx = 0; kx < kw; ++kx) {
+                               const std::int64_t xi = xo * stride - pad + kx;
+                               if (xi < 0 || xi >= w) continue;
+                               gx[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)] +=
+                                   o.grad[static_cast<std::size_t>(
+                                       row * cols + (ci * kh + ky) * kw + kx)];
+                             }
+                           }
+                         }
+                       }
+                     }
+                   }
+                 });
+}
+
+Tensor rows_to_nchw(const Tensor& x, std::int64_t n, std::int64_t oh, std::int64_t ow) {
+  check(x.ndim() == 2 && x.dim(0) == n * oh * ow, "rows_to_nchw: shape mismatch");
+  const std::int64_t c = x.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n * c * oh * ow));
+  const auto& xd = x.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t yo = 0; yo < oh; ++yo) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        const std::int64_t row = (ni * oh + yo) * ow + xo;
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          out[static_cast<std::size_t>(((ni * c + ci) * oh + yo) * ow + xo)] =
+              xd[static_cast<std::size_t>(row * c + ci)];
+        }
+      }
+    }
+  }
+  return make_op(std::move(out), {n, c, oh, ow}, {x},
+                 [x, n, oh, ow, c](TensorImpl& o) {
+                   if (!x.requires_grad()) return;
+                   auto& gx = const_cast<Tensor&>(x).grad();
+                   for (std::int64_t ni = 0; ni < n; ++ni) {
+                     for (std::int64_t yo = 0; yo < oh; ++yo) {
+                       for (std::int64_t xo = 0; xo < ow; ++xo) {
+                         const std::int64_t row = (ni * oh + yo) * ow + xo;
+                         for (std::int64_t ci = 0; ci < c; ++ci) {
+                           gx[static_cast<std::size_t>(row * c + ci)] += o.grad[static_cast<std::size_t>(
+                               ((ni * c + ci) * oh + yo) * ow + xo)];
+                         }
+                       }
+                     }
+                   }
+                 });
+}
+
+Tensor adaptive_avgpool2d(const Tensor& x, std::int64_t out_h, std::int64_t out_w) {
+  check(x.ndim() == 4, "adaptive_avgpool2d: expects [N,C,H,W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  auto bin_start = [](std::int64_t o, std::int64_t in, std::int64_t out) {
+    return (o * in) / out;
+  };
+  auto bin_end = [](std::int64_t o, std::int64_t in, std::int64_t out) {
+    return ((o + 1) * in + out - 1) / out;
+  };
+  std::vector<float> out(static_cast<std::size_t>(n * c * out_h * out_w), 0.0f);
+  const auto& xd = x.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t yo = 0; yo < out_h; ++yo) {
+        const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
+        for (std::int64_t xo = 0; xo < out_w; ++xo) {
+          const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
+          double acc = 0.0;
+          for (std::int64_t yi = y0; yi < y1; ++yi) {
+            for (std::int64_t xi = x0; xi < x1; ++xi) {
+              acc += xd[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)];
+            }
+          }
+          out[static_cast<std::size_t>(((ni * c + ci) * out_h + yo) * out_w + xo)] =
+              static_cast<float>(acc / static_cast<double>((y1 - y0) * (x1 - x0)));
+        }
+      }
+    }
+  }
+  return make_op(std::move(out), {n, c, out_h, out_w}, {x},
+                 [x, n, c, h, w, out_h, out_w, bin_start, bin_end](TensorImpl& o) {
+                   if (!x.requires_grad()) return;
+                   auto& gx = const_cast<Tensor&>(x).grad();
+                   for (std::int64_t ni = 0; ni < n; ++ni) {
+                     for (std::int64_t ci = 0; ci < c; ++ci) {
+                       for (std::int64_t yo = 0; yo < out_h; ++yo) {
+                         const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
+                         for (std::int64_t xo = 0; xo < out_w; ++xo) {
+                           const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
+                           const float g = o.grad[static_cast<std::size_t>(
+                                               ((ni * c + ci) * out_h + yo) * out_w + xo)] /
+                                           static_cast<float>((y1 - y0) * (x1 - x0));
+                           for (std::int64_t yi = y0; yi < y1; ++yi) {
+                             for (std::int64_t xi = x0; xi < x1; ++xi) {
+                               gx[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)] += g;
+                             }
+                           }
+                         }
+                       }
+                     }
+                   }
+                 });
+}
+
+Tensor maxpool2d(const Tensor& x, std::int64_t k, std::int64_t stride) {
+  check(x.ndim() == 4, "maxpool2d: expects [N,C,H,W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  check(oh > 0 && ow > 0, "maxpool2d: output empty");
+  std::vector<float> out(static_cast<std::size_t>(n * c * oh * ow));
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(out.size());
+  const auto& xd = x.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      for (std::int64_t yo = 0; yo < oh; ++yo) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t yi = yo * stride + ky, xi = xo * stride + kx;
+              const std::int64_t idx = ((ni * c + ci) * h + yi) * w + xi;
+              if (xd[static_cast<std::size_t>(idx)] > best) {
+                best = xd[static_cast<std::size_t>(idx)];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t oidx =
+              static_cast<std::size_t>(((ni * c + ci) * oh + yo) * ow + xo);
+          out[oidx] = best;
+          (*argmax)[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return make_op(std::move(out), {n, c, oh, ow}, {x}, [x, argmax](TensorImpl& o) {
+    if (!x.requires_grad()) return;
+    auto& gx = const_cast<Tensor&>(x).grad();
+    for (std::size_t i = 0; i < o.grad.size(); ++i) {
+      gx[static_cast<std::size_t>((*argmax)[i])] += o.grad[i];
+    }
+  });
+}
+
+Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   std::vector<float>& running_mean, std::vector<float>& running_var,
+                   bool training, float momentum, float eps) {
+  check(x.ndim() == 4, "batchnorm2d: expects [N,C,H,W]");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  check(gamma.numel() == c && beta.numel() == c, "batchnorm2d: affine size");
+  check(static_cast<std::int64_t>(running_mean.size()) == c, "batchnorm2d: stats size");
+  const std::int64_t cnt = n * h * w;
+  auto mean_v = std::make_shared<std::vector<float>>(static_cast<std::size_t>(c));
+  auto invstd_v = std::make_shared<std::vector<float>>(static_cast<std::size_t>(c));
+  const auto& xd = x.data();
+  if (training) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      double s = 0.0, s2 = 0.0;
+      for (std::int64_t ni = 0; ni < n; ++ni) {
+        const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
+        for (std::int64_t i = 0; i < h * w; ++i) {
+          const double v = xd[base + static_cast<std::size_t>(i)];
+          s += v;
+          s2 += v * v;
+        }
+      }
+      const double mu = s / static_cast<double>(cnt);
+      const double var = std::max(s2 / static_cast<double>(cnt) - mu * mu, 0.0);
+      (*mean_v)[static_cast<std::size_t>(ci)] = static_cast<float>(mu);
+      (*invstd_v)[static_cast<std::size_t>(ci)] =
+          static_cast<float>(1.0 / std::sqrt(var + eps));
+      running_mean[static_cast<std::size_t>(ci)] =
+          (1.0f - momentum) * running_mean[static_cast<std::size_t>(ci)] +
+          momentum * static_cast<float>(mu);
+      running_var[static_cast<std::size_t>(ci)] =
+          (1.0f - momentum) * running_var[static_cast<std::size_t>(ci)] +
+          momentum * static_cast<float>(var);
+    }
+  } else {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      (*mean_v)[static_cast<std::size_t>(ci)] = running_mean[static_cast<std::size_t>(ci)];
+      (*invstd_v)[static_cast<std::size_t>(ci)] = static_cast<float>(
+          1.0 / std::sqrt(running_var[static_cast<std::size_t>(ci)] + eps));
+    }
+  }
+  std::vector<float> out(xd.size());
+  const auto& gd = gamma.data();
+  const auto& bd = beta.data();
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
+      const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
+      const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
+      const float g = gd[static_cast<std::size_t>(ci)];
+      const float b = bd[static_cast<std::size_t>(ci)];
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        out[base + static_cast<std::size_t>(i)] =
+            (xd[base + static_cast<std::size_t>(i)] - mu) * is * g + b;
+      }
+    }
+  }
+  return make_op(
+      std::move(out), x.shape(), {x, gamma, beta},
+      [x, gamma, beta, mean_v, invstd_v, n, c, h, w, cnt, training](TensorImpl& o) {
+        const auto& xd = x.data();
+        const auto& gd = gamma.data();
+        // Pre-compute per-channel reductions of the output gradient.
+        std::vector<double> sum_dy(static_cast<std::size_t>(c), 0.0);
+        std::vector<double> sum_dy_xhat(static_cast<std::size_t>(c), 0.0);
+        for (std::int64_t ni = 0; ni < n; ++ni) {
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
+            const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
+            const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
+            for (std::int64_t i = 0; i < h * w; ++i) {
+              const float dy = o.grad[base + static_cast<std::size_t>(i)];
+              const float xh = (xd[base + static_cast<std::size_t>(i)] - mu) * is;
+              sum_dy[static_cast<std::size_t>(ci)] += dy;
+              sum_dy_xhat[static_cast<std::size_t>(ci)] += static_cast<double>(dy) * xh;
+            }
+          }
+        }
+        if (gamma.requires_grad()) {
+          auto& gg = const_cast<Tensor&>(gamma).grad();
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            gg[static_cast<std::size_t>(ci)] +=
+                static_cast<float>(sum_dy_xhat[static_cast<std::size_t>(ci)]);
+          }
+        }
+        if (beta.requires_grad()) {
+          auto& gb = const_cast<Tensor&>(beta).grad();
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            gb[static_cast<std::size_t>(ci)] +=
+                static_cast<float>(sum_dy[static_cast<std::size_t>(ci)]);
+          }
+        }
+        if (x.requires_grad()) {
+          auto& gx = const_cast<Tensor&>(x).grad();
+          const float inv_cnt = 1.0f / static_cast<float>(cnt);
+          for (std::int64_t ni = 0; ni < n; ++ni) {
+            for (std::int64_t ci = 0; ci < c; ++ci) {
+              const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
+              const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
+              const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
+              const float g = gd[static_cast<std::size_t>(ci)];
+              const float sdy = static_cast<float>(sum_dy[static_cast<std::size_t>(ci)]);
+              const float sdyx =
+                  static_cast<float>(sum_dy_xhat[static_cast<std::size_t>(ci)]);
+              for (std::int64_t i = 0; i < h * w; ++i) {
+                const float dy = o.grad[base + static_cast<std::size_t>(i)];
+                const float xh = (xd[base + static_cast<std::size_t>(i)] - mu) * is;
+                if (training) {
+                  gx[base + static_cast<std::size_t>(i)] +=
+                      g * is * (dy - inv_cnt * sdy - xh * inv_cnt * sdyx);
+                } else {
+                  gx[base + static_cast<std::size_t>(i)] += g * is * dy;
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  check(a.ndim() == 2, "argmax_rows: expects 2-D");
+  const std::int64_t n = a.dim(0), m = a.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  const auto& ad = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    int best = 0;
+    float bv = ad[static_cast<std::size_t>(i * m)];
+    for (std::int64_t j = 1; j < m; ++j) {
+      const float v = ad[static_cast<std::size_t>(i * m + j)];
+      if (v > bv) {
+        bv = v;
+        best = static_cast<int>(j);
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace adept::ag

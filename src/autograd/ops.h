@@ -1,0 +1,105 @@
+// Differentiable operator library on ag::Tensor.
+//
+// Broadcasting for binary elementwise ops supports the cases this project
+// needs (kept deliberately small per CppCoreGuidelines P.9):
+//   * identical shapes
+//   * either operand a 1-element scalar
+//   * [N,M] op [1,M] (row-vector broadcast) and [N,M] op [N,1] (column)
+// Gradients for broadcast operands are reduced over the broadcast dims.
+#pragma once
+
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace adept::ag {
+
+// ---- elementwise binary (broadcasting) -----------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// ---- elementwise unary ----------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);          // clamps input at 1e-12 for stability
+Tensor sin(const Tensor& a);
+Tensor cos(const Tensor& a);
+Tensor sqrt(const Tensor& a);         // clamps input at 0
+Tensor abs(const Tensor& a);          // d|x|/dx = sign(x), 0 at x == 0
+Tensor square(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor reciprocal(const Tensor& a);   // 1/x with 1e-12 magnitude clamp
+
+// ---- scalar arithmetic ------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor pow_scalar(const Tensor& a, float p);  // x >= 0 expected for p<1
+
+// Straight-through estimators ------------------------------------------
+// Forward: round(x). Backward: identity (gradient passes through).
+Tensor round_ste(const Tensor& a);
+// Forward: value from `forward_values`; backward: identity into a.
+// Generic STE building block used by DC binarization and soft projection.
+Tensor ste_replace(const Tensor& a, std::vector<float> forward_values);
+
+// ---- matrix ops -------------------------------------------------------
+Tensor matmul(const Tensor& a, const Tensor& b);      // [N,K]x[K,M] -> [N,M]
+Tensor transpose(const Tensor& a);                    // 2-D only
+Tensor reshape(const Tensor& a, std::vector<std::int64_t> shape);
+// Embed a vector [K] (or [K,1]) as a diagonal matrix [K,K].
+Tensor diag(const Tensor& v);
+// Extract the diagonal of [K,K] as [K].
+Tensor diag_part(const Tensor& m);
+
+// ---- reductions -------------------------------------------------------
+Tensor sum(const Tensor& a);                          // -> [1]
+Tensor mean(const Tensor& a);                         // -> [1]
+Tensor row_sum(const Tensor& a);                      // [N,M] -> [N,1]
+Tensor col_sum(const Tensor& a);                      // [N,M] -> [1,M]
+// l2 norm of each row: [N,M] -> [N,1] (adds eps inside sqrt for stability).
+Tensor row_l2_norm(const Tensor& a, float eps = 1e-12f);
+Tensor col_l2_norm(const Tensor& a, float eps = 1e-12f);
+
+// ---- softmax family ---------------------------------------------------
+Tensor softmax_rows(const Tensor& a);                 // [N,M] row-wise
+Tensor log_softmax_rows(const Tensor& a);
+// Cross entropy with integer labels; returns scalar mean loss.
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+// ---- indexing / assembly ---------------------------------------------
+// Single element of a flat tensor as a [1] tensor (gradient scatters back).
+Tensor index(const Tensor& a, std::int64_t i);
+// Sub-matrix copy: rows [r0, r0+rows), cols [c0, c0+cols).
+Tensor slice2d(const Tensor& a, std::int64_t r0, std::int64_t rows,
+               std::int64_t c0, std::int64_t cols);
+// Assemble a [P*K, Q*K] matrix from P*Q tiles of shape [K,K], row-major grid.
+Tensor block_matrix(const std::vector<Tensor>& tiles, std::int64_t p,
+                    std::int64_t q);
+// Concatenate 1-D tensors (or [1] scalars) into one vector.
+Tensor concat_vec(const std::vector<Tensor>& parts);
+
+// ---- convolution / pooling support ------------------------------------
+// x: [N,C,H,W] -> columns [N*OH*OW, C*KH*KW]; backward is col2im.
+Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad);
+// Rearrange matmul output [N*OH*OW, C] into [N,C,OH,OW].
+Tensor rows_to_nchw(const Tensor& x, std::int64_t n, std::int64_t oh,
+                    std::int64_t ow);
+// Adaptive average pooling to (out_h, out_w); bins follow PyTorch semantics.
+Tensor adaptive_avgpool2d(const Tensor& x, std::int64_t out_h, std::int64_t out_w);
+Tensor maxpool2d(const Tensor& x, std::int64_t k, std::int64_t stride);
+// Batch norm over N,H,W per channel. gamma/beta: [C]. In training mode the
+// batch statistics are used and running stats are updated in-place.
+Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   std::vector<float>& running_mean, std::vector<float>& running_var,
+                   bool training, float momentum = 0.1f, float eps = 1e-5f);
+
+// ---- utilities ---------------------------------------------------------
+// argmax over each row of [N,M].
+std::vector<int> argmax_rows(const Tensor& a);
+
+}  // namespace adept::ag

@@ -1,0 +1,27 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace adept {
+
+int env_int(const std::string& name, int def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int>(parsed);
+}
+
+double env_double(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+bool bench_full_scale() { return env_int("ADEPT_BENCH_FULL", 0) == 1; }
+
+}  // namespace adept

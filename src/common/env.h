@@ -1,0 +1,20 @@
+// Environment-variable overrides for benchmark scale.
+//
+// Benches run at a reduced scale by default so the full suite finishes in
+// minutes on a laptop; ADEPT_BENCH_* variables scale them toward paper scale.
+#pragma once
+
+#include <string>
+
+namespace adept {
+
+// Integer env var with default; returns `def` if unset or unparsable.
+int env_int(const std::string& name, int def);
+
+// Double env var with default.
+double env_double(const std::string& name, double def);
+
+// True when ADEPT_BENCH_FULL=1 (run benches closer to paper scale).
+bool bench_full_scale();
+
+}  // namespace adept

@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <limits>
+
+namespace adept {
+
+double Rng::gumbel() {
+  // Clamp away from 0 and 1 so the double log stays finite.
+  double u = uniform();
+  constexpr double eps = 1e-12;
+  if (u < eps) u = eps;
+  if (u > 1.0 - eps) u = 1.0 - eps;
+  return -std::log(-std::log(u));
+}
+
+Rng Rng::split() {
+  // Draw a fresh seed from this stream; streams stay decorrelated in practice
+  // for the experiment scales used here.
+  return Rng(engine_());
+}
+
+}  // namespace adept

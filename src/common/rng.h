@@ -1,0 +1,54 @@
+// Seeded random number generation for reproducible experiments.
+//
+// Every stochastic component (Gumbel sampling, SPL perturbation, data
+// synthesis, parameter init) owns an adept::Rng constructed from an explicit
+// seed so that tests and benches are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace adept {
+
+// Thin wrapper over std::mt19937_64 with the distributions this project uses.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  // Standard normal times sigma plus mu.
+  double normal(double mu = 0.0, double sigma = 1.0) {
+    return mu + sigma * normal_(engine_);
+  }
+  // Sample from Gumbel(0, 1): -log(-log(u)).
+  double gumbel();
+  // Bernoulli with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<int>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+  // Derive an independent child generator (for per-component streams).
+  Rng split();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace adept

@@ -1,0 +1,51 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace adept {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt_int(long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace adept

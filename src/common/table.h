@@ -1,0 +1,29 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// paper-style rows (Table 1/2/3) and series (Fig. 4/5).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adept {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append one row; each call must supply exactly header.size() cells.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adept

@@ -1,0 +1,147 @@
+#include "core/alm.h"
+
+#include <cmath>
+
+namespace adept::core {
+
+using ag::Tensor;
+
+AlmState::AlmState(std::size_t num_blocks, std::int64_t k, const AlmConfig& config)
+    : num_blocks_(num_blocks),
+      k_(k),
+      config_(config),
+      rho_(config.rho0),
+      lambda_row_(num_blocks, std::vector<double>(static_cast<std::size_t>(k), 0.0)),
+      lambda_col_(num_blocks, std::vector<double>(static_cast<std::size_t>(k), 0.0)) {}
+
+void AlmState::set_horizon(std::int64_t total_steps) {
+  if (total_steps <= 0) return;
+  config_.rho_growth =
+      std::pow(config_.rho_max_ratio, 1.0 / static_cast<double>(total_steps));
+}
+
+namespace {
+
+// Delta vector expression: l1 - l2 per row (entries are non-negative after
+// reparametrization, so l1 reduces to a plain row sum).
+Tensor row_gap_expr(const Tensor& p) {
+  return ag::sub(ag::row_sum(p), ag::row_l2_norm(p));
+}
+
+Tensor col_gap_expr(const Tensor& p) {
+  return ag::sub(ag::col_sum(p), ag::col_l2_norm(p));
+}
+
+Tensor as_const_vec(const std::vector<double>& v, std::int64_t rows, std::int64_t cols) {
+  std::vector<float> data(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) data[i] = static_cast<float>(v[i]);
+  return ag::make_tensor(std::move(data), {rows, cols}, false);
+}
+
+}  // namespace
+
+Tensor AlmState::penalty(const std::vector<Tensor>& p_tilde) const {
+  ag::check(p_tilde.size() == num_blocks_, "AlmState::penalty: block count mismatch");
+  Tensor total = Tensor::scalar(0.0f);
+  const float half_rho = static_cast<float>(rho_ / 2.0);
+  for (std::size_t b = 0; b < num_blocks_; ++b) {
+    const Tensor& p = p_tilde[b];
+    Tensor dr = row_gap_expr(p);                      // [K,1]
+    Tensor dc = col_gap_expr(p);                      // [1,K]
+    Tensor lr = as_const_vec(lambda_row_[b], k_, 1);  // [K,1]
+    Tensor lc = as_const_vec(lambda_col_[b], 1, k_);  // [1,K]
+    // linear terms: sum_i lambda * Delta
+    total = ag::add(total, ag::sum(ag::mul(lr, dr)));
+    total = ag::add(total, ag::sum(ag::mul(lc, dc)));
+    // lambda-scaled quadratic terms: (rho/2) * sum_i lambda * Delta^2
+    total = ag::add(total, ag::mul_scalar(ag::sum(ag::mul(lr, ag::square(dr))), half_rho));
+    total = ag::add(total, ag::mul_scalar(ag::sum(ag::mul(lc, ag::square(dc))), half_rho));
+  }
+  return total;
+}
+
+std::vector<double> row_norm_gaps(const Tensor& p) {
+  const std::int64_t k = p.dim(0), m = p.dim(1);
+  const auto& pd = p.data();
+  std::vector<double> gaps(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    double l1 = 0.0, l2 = 0.0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const double v = pd[static_cast<std::size_t>(i * m + j)];
+      l1 += std::fabs(v);
+      l2 += v * v;
+    }
+    gaps[static_cast<std::size_t>(i)] = l1 - std::sqrt(l2);
+  }
+  return gaps;
+}
+
+std::vector<double> col_norm_gaps(const Tensor& p) {
+  const std::int64_t k = p.dim(0), m = p.dim(1);
+  const auto& pd = p.data();
+  std::vector<double> gaps(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    double l1 = 0.0, l2 = 0.0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const double v = pd[static_cast<std::size_t>(i * m + j)];
+      l1 += std::fabs(v);
+      l2 += v * v;
+    }
+    gaps[static_cast<std::size_t>(j)] = l1 - std::sqrt(l2);
+  }
+  return gaps;
+}
+
+void AlmState::update(const std::vector<Tensor>& p_tilde) {
+  ag::check(p_tilde.size() == num_blocks_, "AlmState::update: block count mismatch");
+  for (std::size_t b = 0; b < num_blocks_; ++b) {
+    const auto row_gaps = row_norm_gaps(p_tilde[b]);
+    const auto col_gaps = col_norm_gaps(p_tilde[b]);
+    // Eq. 12 with the whole increment scaled by rho: lambda stays tiny while
+    // rho is tiny, so the task loss dominates early and the constraint
+    // tightens as the rho schedule ramps (paper Sec. 3.3.2, Fig. 5a).
+    for (std::size_t i = 0; i < row_gaps.size(); ++i) {
+      lambda_row_[b][i] += rho_ * (row_gaps[i] + 0.5 * row_gaps[i] * row_gaps[i]);
+    }
+    for (std::size_t j = 0; j < col_gaps.size(); ++j) {
+      lambda_col_[b][j] += rho_ * (col_gaps[j] + 0.5 * col_gaps[j] * col_gaps[j]);
+    }
+  }
+  rho_ = std::min(rho_ * config_.rho_growth, config_.rho0 * config_.rho_max_ratio);
+}
+
+double AlmState::permutation_error(const std::vector<Tensor>& p_tilde) const {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : p_tilde) {
+    for (double g : row_norm_gaps(p)) {
+      acc += g;
+      ++count;
+    }
+    for (double g : col_norm_gaps(p)) {
+      acc += g;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+double AlmState::mean_lambda() const {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& v : lambda_row_) {
+    for (double x : v) {
+      acc += x;
+      ++count;
+    }
+  }
+  for (const auto& v : lambda_col_) {
+    for (double x : v) {
+      acc += x;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace adept::core

@@ -1,0 +1,58 @@
+// Augmented Lagrangian method for permutation learning (paper Eq. 8-12).
+//
+// A doubly stochastic matrix is a permutation iff every row/column has equal
+// l1 and l2 norms. The ALM adds per-row and per-column multipliers on the
+// difference Delta = ||.||_1 - ||.||_2 plus a lambda-scaled quadratic term
+// (non-standard: the quadratic is also multiplied by lambda so the task loss
+// dominates early and the constraint tightens as lambda grows).
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace adept::core {
+
+struct AlmConfig {
+  double rho0 = 1e-7;          // initial quadratic coefficient (paper: 1e-7*K/8)
+  double rho_growth = 1.0046;  // per-step gamma; chosen so rho_T ~ 1e4 * rho0
+  double rho_max_ratio = 1e4;  // cap: rho <= rho0 * ratio
+};
+
+// Multiplier state for a set of relaxed permutation matrices.
+class AlmState {
+ public:
+  AlmState(std::size_t num_blocks, std::int64_t k, const AlmConfig& config);
+
+  // Penalty term L_P (Eq. 10) as an autograd expression over the
+  // reparametrized permutations (multipliers enter as constants).
+  ag::Tensor penalty(const std::vector<ag::Tensor>& p_tilde) const;
+
+  // Update multipliers (Eq. 12) and advance the rho schedule:
+  //   lambda += rho * (Delta + Delta^2 / 2), evaluated without grad.
+  void update(const std::vector<ag::Tensor>& p_tilde);
+
+  // Mean of ||row||_1 - ||row||_2 over all rows and columns; the
+  // "permutation error" curve of Fig. 5(a). Zero iff all P are permutations.
+  double permutation_error(const std::vector<ag::Tensor>& p_tilde) const;
+
+  double rho() const { return rho_; }
+  double mean_lambda() const;
+  // Schedule gamma so that rho reaches rho0*1e4 after `total_steps` updates.
+  void set_horizon(std::int64_t total_steps);
+
+ private:
+  std::size_t num_blocks_;
+  std::int64_t k_;
+  AlmConfig config_;
+  double rho_;
+  std::vector<std::vector<double>> lambda_row_;  // [block][row]
+  std::vector<std::vector<double>> lambda_col_;  // [block][col]
+};
+
+// Row/column l1-l2 gaps of one matrix (helpers shared with tests).
+std::vector<double> row_norm_gaps(const ag::Tensor& p);
+std::vector<double> col_norm_gaps(const ag::Tensor& p);
+
+}  // namespace adept::core

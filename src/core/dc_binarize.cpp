@@ -1,0 +1,48 @@
+#include "core/dc_binarize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adept::core {
+
+using ag::Tensor;
+
+namespace {
+const float kSqrt2Over2 = static_cast<float>(std::sqrt(2.0) / 2.0);
+const float kSteScale = static_cast<float>((2.0 - std::sqrt(2.0)) / 4.0);
+}  // namespace
+
+float dc_present_t() { return kSqrt2Over2; }
+float dc_absent_t() { return 1.0f; }
+
+Tensor dc_quantize(const Tensor& t_latent) {
+  const auto& td = t_latent.data();
+  std::vector<float> out(td.size());
+  for (std::size_t i = 0; i < td.size(); ++i) {
+    out[i] = td[i] < 0.0f ? kSqrt2Over2 : 1.0f;
+  }
+  return ag::make_op(std::move(out), t_latent.shape(), {t_latent},
+                     [t_latent](ag::TensorImpl& o) {
+                       if (!t_latent.requires_grad()) return;
+                       auto& gt = const_cast<Tensor&>(t_latent).grad();
+                       for (std::size_t i = 0; i < o.grad.size(); ++i) {
+                         const float g = o.grad[i] * kSteScale;
+                         gt[i] += std::clamp(g, -1.0f, 1.0f);
+                       }
+                     });
+}
+
+Tensor dc_count_expr(const Tensor& t_quantized) {
+  const float a = static_cast<float>(2.0 / (std::sqrt(2.0) - 2.0));
+  const float b = static_cast<float>(2.0 / (2.0 - std::sqrt(2.0)));
+  // per-slot: a * Q + b  (1 when Q = sqrt2/2, 0 when Q = 1)
+  return ag::sum(ag::add_scalar(ag::mul_scalar(t_quantized, a), b));
+}
+
+std::int64_t dc_count_hard(const Tensor& t_latent) {
+  std::int64_t n = 0;
+  for (float v : t_latent.data()) n += v < 0.0f ? 1 : 0;
+  return n;
+}
+
+}  // namespace adept::core

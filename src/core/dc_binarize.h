@@ -1,0 +1,32 @@
+// Binarization-aware directional-coupler learning (paper Eq. 14).
+//
+// Each DC slot carries a continuous latent t; the physical transmission is
+//   Q(t) = (sign(t) + 1) * (2 - sqrt(2)) / 4 + sqrt(2)/2
+// i.e. t < 0  ->  sqrt(2)/2  (a 50:50 coupler is placed)
+//      t >= 0 ->  1          (bar state: plain waveguide, no coupler)
+// The backward pass is a clipped straight-through estimator:
+//   dL/dt = clamp(dL/dQ * (2 - sqrt(2)) / 4, -1, 1).
+#pragma once
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace adept::core {
+
+// Physical transmission values.
+float dc_present_t();  // sqrt(2)/2
+float dc_absent_t();   // 1.0
+
+// Quantize latent couplers to {sqrt(2)/2, 1} with the clipped STE backward.
+ag::Tensor dc_quantize(const ag::Tensor& t_latent);
+
+// Differentiable coupler count of a quantized column (Eq. 15):
+//   #DC = sum_i ( 2 Q(t_i) / (sqrt(2) - 2) + 2 / (2 - sqrt(2)) )
+// Evaluates to exactly the number of slots with Q == sqrt(2)/2; gradients
+// flow through Q via the STE.
+ag::Tensor dc_count_expr(const ag::Tensor& t_quantized);
+
+// Plain (non-autograd) count of placed couplers from the latent values.
+std::int64_t dc_count_hard(const ag::Tensor& t_latent);
+
+}  // namespace adept::core

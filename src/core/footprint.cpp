@@ -1,0 +1,53 @@
+#include "core/footprint.h"
+
+#include <cmath>
+
+#include "core/dc_binarize.h"
+
+namespace adept::core {
+
+using ag::Tensor;
+
+double ps_area_k(const photonics::Pdk& pdk) { return pdk.ps_area_um2 / 1000.0; }
+double dc_area_k(const photonics::Pdk& pdk) { return pdk.dc_area_um2 / 1000.0; }
+double cr_area_k(const photonics::Pdk& pdk) { return pdk.cr_area_um2 / 1000.0; }
+
+Tensor block_footprint_proxy(std::int64_t k, const Tensor& t_quantized,
+                             const Tensor& p_tilde, const FootprintConfig& config) {
+  const float ps_term =
+      static_cast<float>(static_cast<double>(k) * ps_area_k(config.pdk));
+  Tensor dc_term = ag::mul_scalar(dc_count_expr(t_quantized),
+                                  static_cast<float>(dc_area_k(config.pdk)));
+  // ||P~ - I||_F^2 as a differentiable crossing-count proxy.
+  Tensor diff = ag::sub(p_tilde, Tensor::eye(p_tilde.dim(0)));
+  Tensor cr_proxy = ag::mul_scalar(
+      ag::sum(ag::square(diff)),
+      static_cast<float>(config.beta_cr * cr_area_k(config.pdk)));
+  return ag::add_scalar(ag::add(dc_term, cr_proxy), ps_term);
+}
+
+Tensor footprint_penalty(const Tensor& expected_proxy, double expected_true,
+                         const FootprintConfig& config) {
+  if (expected_true > config.f_max_hat()) {
+    return ag::mul_scalar(expected_proxy,
+                          static_cast<float>(config.beta / config.f_max_hat()));
+  }
+  if (expected_true < config.f_min_hat()) {
+    return ag::mul_scalar(expected_proxy,
+                          static_cast<float>(-config.beta / config.f_min_hat()));
+  }
+  return Tensor::scalar(0.0f);
+}
+
+BlockBounds analytical_block_bounds(std::int64_t k, const FootprintConfig& config) {
+  const double kf = static_cast<double>(k);
+  const double f_block_min = kf * ps_area_k(config.pdk) + dc_area_k(config.pdk);
+  const double f_block_max = f_block_min + kf * dc_area_k(config.pdk) / 2.0 +
+                             kf * (kf - 1.0) * cr_area_k(config.pdk) / 2.0;
+  BlockBounds bounds;
+  bounds.b_max = static_cast<int>(std::ceil(config.f_max / f_block_min));
+  bounds.b_min = static_cast<int>(std::floor(config.f_min / f_block_max));
+  return bounds;
+}
+
+}  // namespace adept::core

@@ -1,0 +1,55 @@
+// PDK-adaptive footprint accounting (paper Eq. 15-16).
+//
+// Footprints are tracked in units of 1000 um^2 ("k-um^2"), matching the
+// paper's tables. The probabilistic penalty steers the *expected* SuperMesh
+// footprint E[F] into [F_min, F_max]: outside the (5% margin-tightened)
+// range, a beta-weighted ratio of the differentiable proxy footprint is
+// added to (or subtracted from) the loss. The proxy replaces the
+// non-differentiable crossing count with beta_CR * ||P~ - I||_F^2.
+#pragma once
+
+#include <cstdint>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "photonics/pdk.h"
+
+namespace adept::core {
+
+// Areas in k-um^2 (1/1000 um^2), the unit used throughout search and tables.
+double ps_area_k(const photonics::Pdk& pdk);
+double dc_area_k(const photonics::Pdk& pdk);
+double cr_area_k(const photonics::Pdk& pdk);
+
+struct FootprintConfig {
+  photonics::Pdk pdk;
+  double f_min = 0.0;     // k-um^2
+  double f_max = 0.0;     // k-um^2
+  double beta = 10.0;     // penalty weight (paper: 10)
+  double beta_cr = 100.0; // crossing-proxy weight (paper: 100)
+  double margin = 0.05;   // constraint margin: branch at 0.95*f_max / 1.05*f_min
+
+  double f_max_hat() const { return (1.0 - margin) * f_max; }
+  double f_min_hat() const { return (1.0 + margin) * f_min; }
+};
+
+// Differentiable proxy footprint of one block (Eq. 15), in k-um^2:
+//   F_b,prox = K*F_PS + #DC(t_q)*F_DC + beta_cr * ||P~ - I||_F^2 * F_CR
+ag::Tensor block_footprint_proxy(std::int64_t k, const ag::Tensor& t_quantized,
+                                 const ag::Tensor& p_tilde,
+                                 const FootprintConfig& config);
+
+// Piecewise penalty L_F given the proxy expectation expression and the
+// (non-differentiable) true expectation value.
+ag::Tensor footprint_penalty(const ag::Tensor& expected_proxy, double expected_true,
+                             const FootprintConfig& config);
+
+// Analytical SuperMesh depth bounds (Eq. 16). Block counts are totals over
+// U and V together, as in the paper's #Blk.
+struct BlockBounds {
+  int b_min = 0;  // floor(F_min / F_b,max)
+  int b_max = 0;  // ceil(F_max / F_b,min)
+};
+BlockBounds analytical_block_bounds(std::int64_t k, const FootprintConfig& config);
+
+}  // namespace adept::core

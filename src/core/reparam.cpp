@@ -1,0 +1,64 @@
+#include "core/reparam.h"
+
+#include <cmath>
+
+namespace adept::core {
+
+using ag::Tensor;
+
+Tensor smoothed_identity_init(std::int64_t k, bool requires_grad) {
+  const float off = 1.0f / static_cast<float>(2 * k - 2);
+  const float diag_extra = 0.5f - off;
+  std::vector<float> data(static_cast<std::size_t>(k * k), off);
+  for (std::int64_t i = 0; i < k; ++i) {
+    data[static_cast<std::size_t>(i * k + i)] += diag_extra;
+  }
+  return ag::make_tensor(std::move(data), {k, k}, requires_grad);
+}
+
+Tensor birkhoff_reparam(const Tensor& p_raw) {
+  Tensor p_abs = ag::abs(p_raw);
+  // Column normalization: P' = |P| / (1^T |P|).
+  Tensor col_norm = ag::div(p_abs, ag::add_scalar(ag::col_sum(p_abs), 1e-12f));
+  // Row normalization: P'' = P' / (P' 1).
+  Tensor row_norm = ag::div(col_norm, ag::add_scalar(ag::row_sum(col_norm), 1e-12f));
+  return row_norm;
+}
+
+Tensor soft_permutation_project(const Tensor& p, float eps) {
+  ag::check(p.ndim() == 2 && p.dim(0) == p.dim(1),
+            "soft_permutation_project: square matrix expected");
+  const std::int64_t k = p.dim(0);
+  const auto& pd = p.data();
+  std::vector<float> out(pd.size());
+  auto frozen_rows = std::make_shared<std::vector<bool>>(static_cast<std::size_t>(k), false);
+  for (std::int64_t i = 0; i < k; ++i) {
+    float mx = 0.0f;
+    for (std::int64_t j = 0; j < k; ++j) {
+      mx = std::max(mx, pd[static_cast<std::size_t>(i * k + j)]);
+    }
+    const bool freeze = mx >= 1.0f - eps;
+    (*frozen_rows)[static_cast<std::size_t>(i)] = freeze;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i * k + j);
+      out[idx] = freeze ? std::round(pd[idx]) : pd[idx];
+    }
+  }
+  return ag::make_op(std::move(out), p.shape(), {p}, [p, k, frozen_rows](ag::TensorImpl& o) {
+    if (!p.requires_grad()) return;
+    auto& gp = const_cast<Tensor&>(p).grad();
+    for (std::int64_t i = 0; i < k; ++i) {
+      if ((*frozen_rows)[static_cast<std::size_t>(i)]) continue;  // gradient stopped
+      for (std::int64_t j = 0; j < k; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(i * k + j);
+        gp[idx] += o.grad[idx];
+      }
+    }
+  });
+}
+
+Tensor reparametrize_permutation(const Tensor& p_raw, float eps) {
+  return soft_permutation_project(birkhoff_reparam(p_raw), eps);
+}
+
+}  // namespace adept::core

@@ -1,0 +1,32 @@
+// Permutation reparametrization (paper Eq. 9-11).
+//
+// The discrete permutation constraint is relaxed to the Birkhoff polytope
+// (doubly stochastic matrices). A raw trainable matrix is mapped into the
+// polytope by |.| followed by column- then row-normalization, then a soft
+// row projection binarizes rows that are already near-one-hot while stopping
+// their gradients (avoids instability from the growing ALM linear term).
+#pragma once
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace adept::core {
+
+// Smoothed-identity initialization (paper Sec. 3.3.2):
+//   P0 = I * (1/2 - 1/(2K-2)) + 1/(2K-2)
+// Doubly stochastic with a dominant diagonal; random permutation init would
+// start with zero entries through which no gradient flows.
+ag::Tensor smoothed_identity_init(std::int64_t k, bool requires_grad = true);
+
+// |P| followed by column then row normalization (approximate Birkhoff
+// projection; rows sum to exactly 1, columns approximately).
+ag::Tensor birkhoff_reparam(const ag::Tensor& p_raw);
+
+// Soft projection Omega_P (Eq. 11): rows whose max entry >= 1 - eps are
+// rounded to one-hot with gradients stopped; other rows pass through.
+ag::Tensor soft_permutation_project(const ag::Tensor& p, float eps = 0.05f);
+
+// Full reparametrization chain: soft_project(row_norm(col_norm(|P|))).
+ag::Tensor reparametrize_permutation(const ag::Tensor& p_raw, float eps = 0.05f);
+
+}  // namespace adept::core

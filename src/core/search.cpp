@@ -1,0 +1,181 @@
+#include "core/search.h"
+
+#include <cmath>
+
+#include "optim/optimizer.h"
+#include "optim/schedule.h"
+
+namespace adept::core {
+
+using ag::CxTensor;
+using ag::Tensor;
+
+AdeptSearcher::AdeptSearcher(const SearchConfig& config, ProxyTask& task)
+    : config_(config), task_(task), rng_(config.seed) {
+  SuperMeshConfig mesh_config = config_.mesh;
+  if (mesh_config.super_blocks_per_unitary == 0) {
+    // Depth bounds not given explicitly: derive B_max/B_min from the
+    // footprint constraint (Eq. 16).
+    mesh_config = SuperMeshConfig::from_bounds(config_.mesh.k, config_.footprint,
+                                               config_.max_super_blocks_per_unitary);
+  }
+  mesh_ = std::make_unique<SuperMesh>(mesh_config, rng_);
+  config_.mesh = mesh_config;
+  task_.bind(*mesh_);
+}
+
+SearchResult AdeptSearcher::run() {
+  SearchResult result;
+  const int total_steps = config_.epochs * config_.steps_per_epoch;
+  const int spl_step = config_.spl_epoch * config_.steps_per_epoch;
+
+  AlmState alm(static_cast<std::size_t>(mesh_->total_blocks()), config_.mesh.k,
+               config_.alm);
+  alm.set_horizon(spl_step);
+
+  auto weight_params = [&]() {
+    std::vector<Tensor> params = mesh_->topology_weights();
+    for (auto& w : task_.weights()) params.push_back(w);
+    return params;
+  };
+  auto weight_opt = std::make_unique<optim::Adam>(
+      weight_params(), config_.lr_weights, 0.9, 0.999, 1e-8,
+      config_.weight_decay_weights);
+  optim::Adam arch_opt(mesh_->arch_params(), config_.lr_arch, 0.9, 0.999, 1e-8,
+                       config_.weight_decay_arch);
+
+  optim::CosineLr lr_schedule(config_.lr_weights, total_steps);
+  optim::ExponentialDecay tau_schedule(config_.tau_start, config_.tau_end, total_steps);
+
+  int cycle = 0;
+  for (int step = 0; step < total_steps; ++step) {
+    const int epoch = step / config_.steps_per_epoch;
+    const double tau = tau_schedule.at(step);
+    weight_opt->set_lr(lr_schedule.at(step));
+
+    // SPL: legalize and freeze permutations, rebuild the weight optimizer
+    // without them (paper: epoch 50 of 90).
+    if (step == spl_step && !mesh_->permutations_frozen()) {
+      mesh_->legalize_permutations(rng_, config_.spl);
+      weight_opt = std::make_unique<optim::Adam>(
+          weight_params(), lr_schedule.at(step), 0.9, 0.999, 1e-8,
+          config_.weight_decay_weights);
+    }
+
+    const bool warmup = epoch < config_.warmup_epochs;
+    const bool arch_step =
+        !warmup && (cycle++ % (config_.weight_steps_per_arch_step + 1) ==
+                    config_.weight_steps_per_arch_step);
+
+    mesh_->begin_step(tau, rng_, /*stochastic=*/true);
+    Tensor task_loss = task_.loss(*mesh_, /*validation=*/arch_step);
+    Tensor loss = task_loss;
+    std::vector<Tensor> perms;
+    if (!mesh_->permutations_frozen()) {
+      perms = mesh_->all_relaxed_perms();
+      loss = ag::add(loss, alm.penalty(perms));
+    }
+    Tensor penalty = mesh_->footprint_penalty_expr(config_.footprint);
+    if (!warmup) loss = ag::add(loss, penalty);
+
+    if (arch_step) {
+      arch_opt.zero_grad();
+      loss.backward();
+      arch_opt.step();
+    } else {
+      weight_opt->zero_grad();
+      loss.backward();
+      weight_opt->step();
+      if (!mesh_->permutations_frozen()) alm.update(perms);
+    }
+
+    result.trace.task_loss.push_back(task_loss.item());
+    result.trace.alm_lambda.push_back(alm.mean_lambda());
+    result.trace.alm_rho.push_back(alm.rho());
+    result.trace.permutation_error.push_back(
+        perms.empty() ? 0.0 : alm.permutation_error(perms));
+    result.trace.expected_footprint.push_back(
+        mesh_->expected_footprint(config_.footprint.pdk));
+    result.trace.footprint_penalty.push_back(penalty.item());
+  }
+
+  if (!mesh_->permutations_frozen()) {
+    mesh_->legalize_permutations(rng_, config_.spl);
+  }
+  result.topology = mesh_->sample_topology(rng_, config_.footprint.pdk,
+                                           config_.footprint.f_min,
+                                           config_.footprint.f_max);
+  result.final_metric = task_.metric(*mesh_);
+  return result;
+}
+
+MatrixFitTask::MatrixFitTask(int tiles, std::uint64_t seed)
+    : tiles_(tiles), rng_(seed) {}
+
+void MatrixFitTask::bind(SuperMesh& mesh) {
+  const std::int64_t k = mesh.k();
+  const int nb = mesh.blocks_per_unitary();
+  targets_.clear();
+  phi_u_.clear();
+  phi_v_.clear();
+  sigma_.clear();
+  for (int t = 0; t < tiles_; ++t) {
+    std::vector<float> target(static_cast<std::size_t>(k * k));
+    // Orthogonal-ish random targets keep the fit well-scaled.
+    for (auto& x : target) {
+      x = static_cast<float>(rng_.normal(0.0, 1.0 / std::sqrt(static_cast<double>(k))));
+    }
+    targets_.push_back(ag::make_tensor(std::move(target), {k, k}, false));
+    auto make_phases = [&]() {
+      std::vector<Tensor> phases;
+      for (int b = 0; b < nb; ++b) {
+        std::vector<float> phi(static_cast<std::size_t>(k));
+        for (auto& p : phi) {
+          p = static_cast<float>(rng_.uniform(-3.14159265, 3.14159265));
+        }
+        phases.push_back(ag::make_tensor(std::move(phi), {k}, true));
+      }
+      return phases;
+    };
+    phi_u_.push_back(make_phases());
+    phi_v_.push_back(make_phases());
+    std::vector<float> sig(static_cast<std::size_t>(k), 1.0f);
+    sigma_.push_back(ag::make_tensor(std::move(sig), {k}, true));
+  }
+}
+
+Tensor MatrixFitTask::loss(SuperMesh& mesh, bool validation) {
+  (void)validation;  // same targets for both splits in the synthetic proxy
+  Tensor total = Tensor::scalar(0.0f);
+  for (int t = 0; t < tiles_; ++t) {
+    CxTensor u = mesh.tile_unitary(Side::u, phi_u_[static_cast<std::size_t>(t)]);
+    CxTensor v = mesh.tile_unitary(Side::v, phi_v_[static_cast<std::size_t>(t)]);
+    Tensor sig_diag = ag::diag(sigma_[static_cast<std::size_t>(t)]);
+    CxTensor us = {ag::matmul(u.re, sig_diag), ag::matmul(u.im, sig_diag)};
+    CxTensor w = ag::cmatmul(us, v);
+    Tensor err = ag::sub(w.re, targets_[static_cast<std::size_t>(t)]);
+    total = ag::add(total, ag::mean(ag::square(err)));
+  }
+  return ag::mul_scalar(total, 1.0f / static_cast<float>(tiles_));
+}
+
+std::vector<Tensor> MatrixFitTask::weights() {
+  std::vector<Tensor> out;
+  for (auto& tile : phi_u_) {
+    for (auto& p : tile) out.push_back(p);
+  }
+  for (auto& tile : phi_v_) {
+    for (auto& p : tile) out.push_back(p);
+  }
+  for (auto& s : sigma_) out.push_back(s);
+  return out;
+}
+
+double MatrixFitTask::metric(SuperMesh& mesh) {
+  ag::NoGradGuard guard;
+  adept::Rng eval_rng(7);
+  mesh.begin_step(/*tau=*/0.5, eval_rng, /*stochastic=*/false);
+  return -static_cast<double>(loss(mesh, true).item());
+}
+
+}  // namespace adept::core

@@ -1,0 +1,118 @@
+// Two-stage ADEPT SuperMesh search driver (paper Fig. 2, Sec. 3.3 / 4.1).
+//
+// Stage 1 (warmup): only SuperMesh weights (Sigma, Phi, T, P) train, with the
+// ALM permutation penalty. Stage 2 (search): weight steps and architecture
+// steps alternate at a 3:1 ratio; architecture steps update the block
+// logits theta against the validation loss plus the footprint penalty. At
+// the SPL epoch all relaxed permutations are legalized and frozen; training
+// continues on the remaining parameters. Finally a SubMesh honoring the
+// footprint constraint is sampled from the learned selection distribution.
+//
+// The task being optimized is abstracted behind ProxyTask so the same driver
+// serves the built-in matrix-fitting proxy (tests, Fig. 5 ablations) and the
+// CNN proxy in src/nn (paper main results).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/tensor.h"
+#include "common/rng.h"
+#include "core/alm.h"
+#include "core/footprint.h"
+#include "core/spl.h"
+#include "core/supermesh.h"
+#include "photonics/topology.h"
+
+namespace adept::core {
+
+// A differentiable training task driving the search. Implementations own the
+// per-tile weights (phases Phi, diagonals Sigma, plus any classifier
+// parameters) and build their loss through SuperMesh::tile_unitary.
+class ProxyTask {
+ public:
+  virtual ~ProxyTask() = default;
+  // Called once before training so the task can size its weights.
+  virtual void bind(SuperMesh& mesh) = 0;
+  // Build the loss for the current step (begin_step was already called).
+  // `validation` distinguishes the bilevel split (weights vs architecture).
+  virtual ag::Tensor loss(SuperMesh& mesh, bool validation) = 0;
+  // Task-owned trainable parameters.
+  virtual std::vector<ag::Tensor> weights() = 0;
+  // Optional scalar quality metric for traces (higher is better).
+  virtual double metric(SuperMesh& mesh) { (void)mesh; return 0.0; }
+};
+
+struct SearchConfig {
+  SuperMeshConfig mesh;          // if mesh.k == 0, derived from footprint bounds
+  FootprintConfig footprint;
+  AlmConfig alm;
+  SplConfig spl;
+  int epochs = 90;
+  int warmup_epochs = 10;
+  int spl_epoch = 50;
+  int steps_per_epoch = 20;
+  int weight_steps_per_arch_step = 3;  // paper: 3:1
+  double lr_weights = 1e-3;
+  double lr_arch = 1e-3;
+  double weight_decay_weights = 1e-4;  // on Phi and Sigma
+  double weight_decay_arch = 5e-4;     // on theta
+  double tau_start = 5.0;              // Gumbel temperature schedule
+  double tau_end = 0.5;
+  int max_super_blocks_per_unitary = 16;  // tractability cap on B_max/2
+  std::uint64_t seed = 42;
+};
+
+// Per-step observability (drives Fig. 5 and EXPERIMENTS.md).
+struct SearchTrace {
+  std::vector<double> task_loss;
+  std::vector<double> alm_lambda;         // mean multiplier
+  std::vector<double> alm_rho;
+  std::vector<double> permutation_error;  // mean l1-l2 gap
+  std::vector<double> expected_footprint; // E[F] in k-um^2
+  std::vector<double> footprint_penalty;  // L_F value
+};
+
+struct SearchResult {
+  photonics::PtcTopology topology;
+  SearchTrace trace;
+  double final_metric = 0.0;
+};
+
+class AdeptSearcher {
+ public:
+  AdeptSearcher(const SearchConfig& config, ProxyTask& task);
+
+  SearchResult run();
+  SuperMesh& mesh() { return *mesh_; }
+  const SearchConfig& config() const { return config_; }
+
+ private:
+  SearchConfig config_;
+  ProxyTask& task_;
+  std::unique_ptr<SuperMesh> mesh_;
+  adept::Rng rng_;
+};
+
+// Built-in proxy: fit a bank of random target matrices with W = U Sigma V
+// (real part), loss = mean squared error. Exercises the full search stack
+// without the NN substrate; used by unit tests and the Fig. 5 ablations.
+class MatrixFitTask : public ProxyTask {
+ public:
+  MatrixFitTask(int tiles, std::uint64_t seed);
+  void bind(SuperMesh& mesh) override;
+  ag::Tensor loss(SuperMesh& mesh, bool validation) override;
+  std::vector<ag::Tensor> weights() override;
+  double metric(SuperMesh& mesh) override;  // negative MSE
+
+ private:
+  int tiles_;
+  adept::Rng rng_;
+  std::vector<ag::Tensor> targets_;            // [K,K] constants per tile
+  std::vector<std::vector<ag::Tensor>> phi_u_; // [tile][block] -> [K]
+  std::vector<std::vector<ag::Tensor>> phi_v_;
+  std::vector<ag::Tensor> sigma_;              // [K] per tile
+};
+
+}  // namespace adept::core

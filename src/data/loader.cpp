@@ -1,0 +1,47 @@
+#include "data/loader.h"
+
+#include <numeric>
+
+namespace adept::data {
+
+DataLoader::DataLoader(const SyntheticDataset& dataset, int batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  order_.resize(static_cast<std::size_t>(dataset_.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+int DataLoader::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::shuffle(adept::Rng& rng) { rng.shuffle(order_); }
+
+Batch DataLoader::batch(int index) const {
+  std::vector<int> indices;
+  const int begin = index * batch_size_;
+  const int end = std::min(begin + batch_size_, dataset_.size());
+  for (int i = begin; i < end; ++i) {
+    indices.push_back(order_[static_cast<std::size_t>(i)]);
+  }
+  return gather(indices);
+}
+
+Batch DataLoader::gather(const std::vector<int>& indices) const {
+  const auto& spec = dataset_.spec();
+  const int elems = dataset_.image_elems();
+  std::vector<float> data;
+  data.reserve(indices.size() * static_cast<std::size_t>(elems));
+  Batch out;
+  for (int idx : indices) {
+    const auto& img = dataset_.image(idx);
+    data.insert(data.end(), img.begin(), img.end());
+    out.labels.push_back(dataset_.label(idx));
+  }
+  out.images = ag::make_tensor(
+      std::move(data),
+      {static_cast<std::int64_t>(indices.size()), spec.channels, spec.height, spec.width},
+      false);
+  return out;
+}
+
+}  // namespace adept::data

@@ -1,0 +1,35 @@
+// Minibatch assembly over SyntheticDataset.
+#pragma once
+
+#include <vector>
+
+#include "autograd/tensor.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace adept::data {
+
+struct Batch {
+  ag::Tensor images;        // [N, C, H, W]
+  std::vector<int> labels;  // N entries
+};
+
+class DataLoader {
+ public:
+  DataLoader(const SyntheticDataset& dataset, int batch_size);
+
+  int batches_per_epoch() const;
+  // Batch of the given epoch-local index over the current ordering.
+  Batch batch(int index) const;
+  // Reshuffle the sample ordering (call once per epoch for training).
+  void shuffle(adept::Rng& rng);
+  // Assemble an arbitrary index set into a batch.
+  Batch gather(const std::vector<int>& indices) const;
+
+ private:
+  const SyntheticDataset& dataset_;
+  int batch_size_;
+  std::vector<int> order_;
+};
+
+}  // namespace adept::data

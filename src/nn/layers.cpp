@@ -1,0 +1,98 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace adept::nn {
+
+using ag::Tensor;
+
+Tensor kaiming_uniform(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                       adept::Rng& rng) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  const double bound = std::sqrt(6.0 / static_cast<double>(std::max<std::int64_t>(fan_in, 1)));
+  std::vector<float> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-bound, bound));
+  return ag::make_tensor(std::move(data), std::move(shape), /*requires_grad=*/true);
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, adept::Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = kaiming_uniform({in_, out_}, in_, rng);
+  if (bias) bias_ = Tensor::zeros({1, out_}, /*requires_grad=*/true);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  Tensor y = ag::matmul(x, weight_);
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::parameters() {
+  std::vector<Tensor> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+               adept::Rng& rng, std::int64_t stride, std::int64_t pad, bool bias)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), stride_(stride), pad_(pad) {
+  const std::int64_t fan_in = in_c_ * k_ * k_;
+  weight_ = kaiming_uniform({fan_in, out_c_}, fan_in, rng);
+  if (bias) bias_ = Tensor::zeros({1, out_c_}, /*requires_grad=*/true);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  Tensor cols = ag::im2col(x, k_, k_, stride_, pad_);  // [N*OH*OW, C*k*k]
+  Tensor y = ag::matmul(cols, weight_);                // [N*OH*OW, out_c]
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return ag::rows_to_nchw(y, n, oh, ow);
+}
+
+std::vector<Tensor> Conv2d::parameters() {
+  std::vector<Tensor> out = {weight_};
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_ = Tensor::full({channels_}, 1.0f, /*requires_grad=*/true);
+  beta_ = Tensor::zeros({channels_}, /*requires_grad=*/true);
+  running_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  running_var_.assign(static_cast<std::size_t>(channels_), 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  return ag::batchnorm2d(x, gamma_, beta_, running_mean_, running_var_, training(),
+                         momentum_, eps_);
+}
+
+std::vector<Tensor> BatchNorm2d::parameters() { return {gamma_, beta_}; }
+
+Tensor ReLU::forward(const Tensor& x) { return ag::relu(x); }
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : k_(kernel), stride_(stride) {}
+
+Tensor MaxPool2d::forward(const Tensor& x) { return ag::maxpool2d(x, k_, stride_); }
+
+AdaptiveAvgPool2d::AdaptiveAvgPool2d(std::int64_t out_h, std::int64_t out_w)
+    : out_h_(out_h), out_w_(out_w) {}
+
+Tensor AdaptiveAvgPool2d::forward(const Tensor& x) {
+  return ag::adaptive_avgpool2d(x, out_h_, out_w_);
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  const std::int64_t n = x.dim(0);
+  return ag::reshape(x, {n, x.numel() / n});
+}
+
+}  // namespace adept::nn

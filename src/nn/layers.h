@@ -1,0 +1,87 @@
+// Standard (electronic) NN layers used around the photonic tensor cores:
+// the paper's models keep BatchNorm / ReLU / pooling / flatten in
+// electronics and map the matmul-heavy Linear/Conv onto PTCs (onn_layers.h).
+#pragma once
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace adept::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, adept::Rng& rng,
+         bool bias = true);
+  ag::Tensor forward(const ag::Tensor& x) override;  // [N, in] -> [N, out]
+  std::vector<ag::Tensor> parameters() override;
+
+  ag::Tensor& weight() { return weight_; }
+
+ private:
+  std::int64_t in_, out_;
+  ag::Tensor weight_;  // [in, out]
+  ag::Tensor bias_;    // [1, out] (undefined when bias=false)
+};
+
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+         adept::Rng& rng, std::int64_t stride = 1, std::int64_t pad = 0,
+         bool bias = true);
+  ag::Tensor forward(const ag::Tensor& x) override;  // [N,C,H,W]
+  std::vector<ag::Tensor> parameters() override;
+
+ private:
+  std::int64_t in_c_, out_c_, k_, stride_, pad_;
+  ag::Tensor weight_;  // [C*k*k, out_c]
+  ag::Tensor bias_;    // [1, out_c]
+};
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+  ag::Tensor forward(const ag::Tensor& x) override;
+  std::vector<ag::Tensor> parameters() override;
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  ag::Tensor gamma_, beta_;
+  std::vector<float> running_mean_, running_var_;
+};
+
+class ReLU : public Module {
+ public:
+  ag::Tensor forward(const ag::Tensor& x) override;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+  ag::Tensor forward(const ag::Tensor& x) override;
+
+ private:
+  std::int64_t k_, stride_;
+};
+
+class AdaptiveAvgPool2d : public Module {
+ public:
+  AdaptiveAvgPool2d(std::int64_t out_h, std::int64_t out_w);
+  ag::Tensor forward(const ag::Tensor& x) override;
+
+ private:
+  std::int64_t out_h_, out_w_;
+};
+
+// [N,C,H,W] -> [N, C*H*W]
+class Flatten : public Module {
+ public:
+  ag::Tensor forward(const ag::Tensor& x) override;
+};
+
+// Kaiming-uniform weight init helper shared by layers.
+ag::Tensor kaiming_uniform(std::vector<std::int64_t> shape, std::int64_t fan_in,
+                           adept::Rng& rng);
+
+}  // namespace adept::nn

@@ -1,0 +1,19 @@
+#include "nn/loss.h"
+
+namespace adept::nn {
+
+ag::Tensor cross_entropy_loss(const ag::Tensor& logits, const std::vector<int>& labels) {
+  return ag::cross_entropy(logits, labels);
+}
+
+double accuracy(const ag::Tensor& logits, const std::vector<int>& labels) {
+  const std::vector<int> pred = ag::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace adept::nn

@@ -1,0 +1,16 @@
+// Classification loss and metrics.
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+
+namespace adept::nn {
+
+// Mean cross-entropy over integer labels (thin wrapper over ag::cross_entropy).
+ag::Tensor cross_entropy_loss(const ag::Tensor& logits, const std::vector<int>& labels);
+
+// Fraction of rows whose argmax matches the label.
+double accuracy(const ag::Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace adept::nn

@@ -1,0 +1,107 @@
+#include "nn/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.h"
+
+namespace adept::nn {
+
+void OnnModel::set_phase_noise(double sigma, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto* layer : onn_layers) layer->set_phase_noise(sigma, s++);
+}
+
+namespace {
+
+// Track spatial size through valid convs / pools.
+struct Shape {
+  int c, hw;
+};
+
+std::shared_ptr<ONNConv2d> add_conv(OnnModel& model, Shape& s, int out_c, int k,
+                                    int stride, int pad, const PtcBinding& binding,
+                                    adept::Rng& rng) {
+  auto conv = std::make_shared<ONNConv2d>(s.c, out_c, k, binding, rng, stride, pad);
+  model.net->add(conv);
+  model.onn_layers.push_back(conv.get());
+  s.c = out_c;
+  s.hw = (s.hw + 2 * pad - k) / stride + 1;
+  return conv;
+}
+
+void add_linear(OnnModel& model, int in, int out, const PtcBinding& binding,
+                adept::Rng& rng) {
+  auto fc = std::make_shared<ONNLinear>(in, out, binding, rng);
+  model.net->add(fc);
+  model.onn_layers.push_back(fc.get());
+}
+
+}  // namespace
+
+OnnModel make_proxy_cnn(int in_channels, int image_hw, int classes,
+                        const PtcBinding& binding, adept::Rng& rng, int width) {
+  OnnModel model;
+  model.net = std::make_shared<Sequential>();
+  Shape s{in_channels, image_hw};
+  add_conv(model, s, width, 5, /*stride=*/1, /*pad=*/0, binding, rng);
+  model.net->add(std::make_shared<BatchNorm2d>(width));
+  model.net->add(std::make_shared<ReLU>());
+  add_conv(model, s, width, 5, 1, 0, binding, rng);
+  model.net->add(std::make_shared<BatchNorm2d>(width));
+  model.net->add(std::make_shared<ReLU>());
+  model.net->add(std::make_shared<AdaptiveAvgPool2d>(5, 5));
+  model.net->add(std::make_shared<Flatten>());
+  add_linear(model, width * 5 * 5, classes, binding, rng);
+  return model;
+}
+
+OnnModel make_lenet5(int in_channels, int image_hw, int classes,
+                     const PtcBinding& binding, adept::Rng& rng, double width_scale) {
+  auto scaled = [&](int w) { return std::max(2, static_cast<int>(std::lround(w * width_scale))); };
+  const int c1 = scaled(6), c2 = scaled(16), f1 = scaled(120), f2 = scaled(84);
+  OnnModel model;
+  model.net = std::make_shared<Sequential>();
+  Shape s{in_channels, image_hw};
+  add_conv(model, s, c1, 5, 1, 0, binding, rng);
+  model.net->add(std::make_shared<ReLU>());
+  model.net->add(std::make_shared<MaxPool2d>(2, 2));
+  s.hw /= 2;
+  add_conv(model, s, c2, 5, 1, 0, binding, rng);
+  model.net->add(std::make_shared<ReLU>());
+  model.net->add(std::make_shared<MaxPool2d>(2, 2));
+  s.hw /= 2;
+  model.net->add(std::make_shared<Flatten>());
+  add_linear(model, c2 * s.hw * s.hw, f1, binding, rng);
+  model.net->add(std::make_shared<ReLU>());
+  add_linear(model, f1, f2, binding, rng);
+  model.net->add(std::make_shared<ReLU>());
+  add_linear(model, f2, classes, binding, rng);
+  return model;
+}
+
+OnnModel make_vgg8(int in_channels, int image_hw, int classes,
+                   const PtcBinding& binding, adept::Rng& rng, double width_scale) {
+  auto scaled = [&](int w) { return std::max(4, static_cast<int>(std::lround(w * width_scale))); };
+  OnnModel model;
+  model.net = std::make_shared<Sequential>();
+  Shape s{in_channels, image_hw};
+  const int stage_width[3] = {scaled(64), scaled(128), scaled(256)};
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int rep = 0; rep < 2; ++rep) {
+      add_conv(model, s, stage_width[stage], 3, 1, 1, binding, rng);
+      model.net->add(std::make_shared<BatchNorm2d>(stage_width[stage]));
+      model.net->add(std::make_shared<ReLU>());
+    }
+    model.net->add(std::make_shared<MaxPool2d>(2, 2));
+    s.hw /= 2;
+  }
+  model.net->add(std::make_shared<Flatten>());
+  const int fc_width = scaled(256);
+  add_linear(model, stage_width[2] * s.hw * s.hw, fc_width, binding, rng);
+  model.net->add(std::make_shared<ReLU>());
+  add_linear(model, fc_width, classes, binding, rng);
+  return model;
+}
+
+}  // namespace adept::nn

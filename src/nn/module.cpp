@@ -1,0 +1,24 @@
+#include "nn/module.h"
+
+namespace adept::nn {
+
+ag::Tensor Sequential::forward(const ag::Tensor& x) {
+  ag::Tensor h = x;
+  for (auto& m : modules_) h = m->forward(h);
+  return h;
+}
+
+std::vector<ag::Tensor> Sequential::parameters() {
+  std::vector<ag::Tensor> out;
+  for (auto& m : modules_) {
+    for (auto& p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& m : modules_) m->set_training(training);
+}
+
+}  // namespace adept::nn

@@ -1,0 +1,42 @@
+// Minimal module system for composing trainable layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace adept::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual ag::Tensor forward(const ag::Tensor& x) = 0;
+  virtual std::vector<ag::Tensor> parameters() { return {}; }
+  // Training/eval mode (batch norm statistics, noise injection).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = true;
+};
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::shared_ptr<Module>> modules)
+      : modules_(std::move(modules)) {}
+
+  void add(std::shared_ptr<Module> module) { modules_.push_back(std::move(module)); }
+
+  ag::Tensor forward(const ag::Tensor& x) override;
+  std::vector<ag::Tensor> parameters() override;
+  void set_training(bool training) override;
+
+  const std::vector<std::shared_ptr<Module>>& modules() const { return modules_; }
+
+ private:
+  std::vector<std::shared_ptr<Module>> modules_;
+};
+
+}  // namespace adept::nn

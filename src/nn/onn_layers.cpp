@@ -1,0 +1,227 @@
+#include "nn/onn_layers.h"
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "photonics/devices.h"
+
+namespace adept::nn {
+
+using ag::CxTensor;
+using ag::Tensor;
+using photonics::BlockSpec;
+
+PtcBinding PtcBinding::dense() { return PtcBinding{}; }
+
+PtcBinding PtcBinding::fixed(std::shared_ptr<const photonics::PtcTopology> topo) {
+  PtcBinding b;
+  b.kind = Kind::ptc;
+  b.k = topo->k;
+  b.topology = std::move(topo);
+  return b;
+}
+
+PtcBinding PtcBinding::searched(core::SuperMesh* mesh) {
+  PtcBinding b;
+  b.kind = Kind::supermesh;
+  b.k = mesh->k();
+  b.supermesh = mesh;
+  return b;
+}
+
+namespace {
+
+// Constant complex tensor P * T of one fixed block (the passive, fabricated
+// part of the block transfer). The phase column R varies per tile/step, so
+// the block transfer is (P*T) * R, and with R diagonal the product reduces
+// to a column scaling of the P*T constant.
+CxTensor block_pt_constant(const BlockSpec& block, int k) {
+  const std::vector<double> t(block.dc_mask.size(), photonics::balanced_coupler_t());
+  const photonics::CMat tm =
+      photonics::coupler_column_matrix(k, block.start, block.dc_mask, t);
+  const photonics::CMat pt = block.perm.to_cmatrix() * tm;
+  std::vector<float> re(static_cast<std::size_t>(k * k)), im(re.size());
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      re[static_cast<std::size_t>(i * k + j)] = static_cast<float>(pt.at(i, j).real());
+      im[static_cast<std::size_t>(i * k + j)] = static_cast<float>(pt.at(i, j).imag());
+    }
+  }
+  return {ag::make_tensor(std::move(re), {k, k}, false),
+          ag::make_tensor(std::move(im), {k, k}, false)};
+}
+
+Tensor random_phases(std::int64_t k, adept::Rng& rng) {
+  std::vector<float> phi(static_cast<std::size_t>(k));
+  for (auto& p : phi) p = static_cast<float>(rng.uniform(-3.14159265, 3.14159265));
+  return ag::make_tensor(std::move(phi), {k}, /*requires_grad=*/true);
+}
+
+}  // namespace
+
+PtcWeight::PtcWeight(std::int64_t out_features, std::int64_t in_features,
+                     const PtcBinding& binding, adept::Rng& rng)
+    : out_(out_features), in_(in_features), binding_(binding), noise_rng_(rng.split()) {
+  if (binding_.kind == PtcBinding::Kind::dense) {
+    p_ = 1;
+    q_ = 1;
+    dense_weight_ = kaiming_uniform({out_, in_}, in_, rng);
+    return;
+  }
+  const std::int64_t k = binding_.k;
+  p_ = (out_ + k - 1) / k;
+  q_ = (in_ + k - 1) / k;
+  std::size_t blocks_u = 0, blocks_v = 0;
+  if (binding_.kind == PtcBinding::Kind::ptc) {
+    const auto& topo = *binding_.topology;
+    blocks_u = topo.u_blocks.size();
+    blocks_v = topo.v_blocks.size();
+    for (const auto& b : topo.u_blocks) pt_u_.push_back(block_pt_constant(b, topo.k));
+    for (const auto& b : topo.v_blocks) pt_v_.push_back(block_pt_constant(b, topo.k));
+  } else {
+    blocks_u = static_cast<std::size_t>(binding_.supermesh->blocks_per_unitary());
+    blocks_v = blocks_u;
+  }
+  // Sigma init keeps Re(U Sigma V) near kaiming scale: entries of a random
+  // unitary have magnitude ~1/sqrt(K), so var(W) ~ sigma^2 / (2K).
+  const float sigma_init = static_cast<float>(
+      std::sqrt(2.0 * static_cast<double>(k) / static_cast<double>(std::max<std::int64_t>(in_, 1))));
+  const std::int64_t tiles = p_ * q_;
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    std::vector<Tensor> pu, pv;
+    for (std::size_t b = 0; b < blocks_u; ++b) pu.push_back(random_phases(k, rng));
+    for (std::size_t b = 0; b < blocks_v; ++b) pv.push_back(random_phases(k, rng));
+    phi_u_.push_back(std::move(pu));
+    phi_v_.push_back(std::move(pv));
+    std::vector<float> sig(static_cast<std::size_t>(k));
+    for (auto& s : sig) {
+      s = sigma_init * static_cast<float>(rng.uniform(0.5, 1.5)) *
+          (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+    }
+    sigma_.push_back(ag::make_tensor(std::move(sig), {1, k}, true));
+  }
+}
+
+void PtcWeight::set_phase_noise(double sigma, std::uint64_t seed) {
+  noise_sigma_ = sigma;
+  noise_rng_ = adept::Rng(seed);
+}
+
+CxTensor PtcWeight::fixed_tile_unitary(const std::vector<BlockSpec>& blocks,
+                                       const std::vector<CxTensor>& pt_consts,
+                                       const std::vector<Tensor>& phases) {
+  const std::int64_t k = binding_.k;
+  CxTensor acc = CxTensor::eye(k);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    Tensor phi = phases[b];
+    if (noise_sigma_ > 0.0) {
+      std::vector<float> drift(static_cast<std::size_t>(k));
+      for (auto& d : drift) d = static_cast<float>(noise_rng_.normal(0.0, noise_sigma_));
+      phi = ag::add(phi, ag::make_tensor(std::move(drift), {k}, false));
+    }
+    // Block transfer (P*T) * R(phi); R diagonal => column scaling.
+    CxTensor e = ag::cexp_neg_i(ag::reshape(phi, {1, k}));
+    CxTensor scaled = ag::cmul(pt_consts[b], e);  // broadcasts [1,K] across rows
+    acc = ag::cmatmul(scaled, acc);
+  }
+  return acc;
+}
+
+Tensor PtcWeight::weight_expr() {
+  if (binding_.kind == PtcBinding::Kind::dense) return dense_weight_;
+  const std::int64_t k = binding_.k;
+  std::vector<Tensor> tiles;
+  tiles.reserve(static_cast<std::size_t>(p_ * q_));
+  for (std::int64_t t = 0; t < p_ * q_; ++t) {
+    CxTensor u, v;
+    if (binding_.kind == PtcBinding::Kind::ptc) {
+      u = fixed_tile_unitary(binding_.topology->u_blocks, pt_u_,
+                             phi_u_[static_cast<std::size_t>(t)]);
+      v = fixed_tile_unitary(binding_.topology->v_blocks, pt_v_,
+                             phi_v_[static_cast<std::size_t>(t)]);
+    } else {
+      u = binding_.supermesh->tile_unitary(core::Side::u,
+                                           phi_u_[static_cast<std::size_t>(t)]);
+      v = binding_.supermesh->tile_unitary(core::Side::v,
+                                           phi_v_[static_cast<std::size_t>(t)]);
+    }
+    // W = U * diag(sigma) * V; diag => column scaling of U.
+    CxTensor us = ag::cscale(u, sigma_[static_cast<std::size_t>(t)]);
+    CxTensor w = ag::cmatmul(us, v);
+    tiles.push_back(w.re);  // coherent detection keeps the real part
+  }
+  Tensor blocked = ag::block_matrix(tiles, p_, q_);  // [p*K, q*K]
+  if (p_ * k == out_ && q_ * k == in_) return blocked;
+  return ag::slice2d(blocked, 0, out_, 0, in_);
+}
+
+std::vector<Tensor> PtcWeight::parameters() {
+  if (binding_.kind == PtcBinding::Kind::dense) return {dense_weight_};
+  std::vector<Tensor> out;
+  for (auto& tile : phi_u_) {
+    for (auto& p : tile) out.push_back(p);
+  }
+  for (auto& tile : phi_v_) {
+    for (auto& p : tile) out.push_back(p);
+  }
+  for (auto& s : sigma_) out.push_back(s);
+  return out;
+}
+
+ONNLinear::ONNLinear(std::int64_t in_features, std::int64_t out_features,
+                     const PtcBinding& binding, adept::Rng& rng, bool bias)
+    : in_(in_features), out_(out_features), weight_(out_features, in_features, binding, rng) {
+  if (bias) bias_ = Tensor::zeros({1, out_}, /*requires_grad=*/true);
+}
+
+Tensor ONNLinear::forward(const Tensor& x) {
+  Tensor w = weight_.weight_expr();             // [out, in]
+  Tensor y = ag::matmul(x, ag::transpose(w));   // [N, out]
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> ONNLinear::parameters() {
+  auto out = weight_.parameters();
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+void ONNLinear::set_phase_noise(double sigma, std::uint64_t seed) {
+  weight_.set_phase_noise(sigma, seed);
+}
+
+ONNConv2d::ONNConv2d(std::int64_t in_channels, std::int64_t out_channels,
+                     std::int64_t kernel, const PtcBinding& binding, adept::Rng& rng,
+                     std::int64_t stride, std::int64_t pad, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(out_channels, in_channels * kernel * kernel, binding, rng) {
+  if (bias) bias_ = Tensor::zeros({1, out_c_}, /*requires_grad=*/true);
+}
+
+Tensor ONNConv2d::forward(const Tensor& x) {
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  Tensor cols = ag::im2col(x, k_, k_, stride_, pad_);      // [N*OH*OW, fan_in]
+  Tensor wt = ag::transpose(weight_.weight_expr());        // [fan_in, out_c]
+  Tensor y = ag::matmul(cols, wt);
+  if (bias_.defined()) y = ag::add(y, bias_);
+  return ag::rows_to_nchw(y, n, oh, ow);
+}
+
+std::vector<Tensor> ONNConv2d::parameters() {
+  auto out = weight_.parameters();
+  if (bias_.defined()) out.push_back(bias_);
+  return out;
+}
+
+void ONNConv2d::set_phase_noise(double sigma, std::uint64_t seed) {
+  weight_.set_phase_noise(sigma, seed);
+}
+
+}  // namespace adept::nn

@@ -1,0 +1,114 @@
+// Optical neural-network layers: Linear / Conv2d whose weight matrix is
+// physically realized by photonic tensor cores.
+//
+// A logical weight W [out, in] is partitioned into ceil(out/K) x ceil(in/K)
+// tiles of K x K (paper Eq. 1). Every tile is W_pq = U_pq Sigma_pq V_pq
+// where U/V share one circuit *topology* across all tiles but carry
+// tile-private phase programs Phi and diagonal Sigma. The realized weight is
+// the real part of the complex transfer (coherent detection).
+//
+// Three interchangeable weight implementations:
+//   dense      plain trainable matrix (electronic reference)
+//   ptc        a frozen PtcTopology (searched design or MZI/FFT baseline);
+//              supports Gaussian phase-noise injection for variation-aware
+//              training and robustness evaluation (Fig. 4)
+//   supermesh  a live core::SuperMesh being searched (ADEPT training); the
+//              caller drives SuperMesh::begin_step once per optimization step
+#pragma once
+
+#include <memory>
+
+#include "autograd/complex.h"
+#include "common/rng.h"
+#include "core/supermesh.h"
+#include "nn/module.h"
+#include "photonics/topology.h"
+
+namespace adept::nn {
+
+struct PtcBinding {
+  enum class Kind { dense, ptc, supermesh };
+  Kind kind = Kind::dense;
+  int k = 8;  // tile size (ignored for dense)
+  std::shared_ptr<const photonics::PtcTopology> topology;  // for Kind::ptc
+  core::SuperMesh* supermesh = nullptr;                    // for Kind::supermesh
+
+  static PtcBinding dense();
+  static PtcBinding fixed(std::shared_ptr<const photonics::PtcTopology> topo);
+  static PtcBinding searched(core::SuperMesh* mesh);
+};
+
+// Builds the blocked weight expression for one logical weight matrix.
+class PtcWeight {
+ public:
+  PtcWeight(std::int64_t out_features, std::int64_t in_features,
+            const PtcBinding& binding, adept::Rng& rng);
+
+  // Weight expression [out, in] for the current step. Rebuilt per forward.
+  ag::Tensor weight_expr();
+  std::vector<ag::Tensor> parameters();
+
+  // Gaussian phase drift injected into every phase shifter on each forward
+  // (0 disables). Applies to Kind::ptc only.
+  void set_phase_noise(double sigma, std::uint64_t seed);
+  double phase_noise() const { return noise_sigma_; }
+
+  std::int64_t tile_rows() const { return p_; }
+  std::int64_t tile_cols() const { return q_; }
+
+ private:
+  ag::CxTensor fixed_tile_unitary(const std::vector<photonics::BlockSpec>& blocks,
+                                  const std::vector<ag::CxTensor>& pt_consts,
+                                  const std::vector<ag::Tensor>& phases);
+
+  std::int64_t out_, in_, p_, q_;
+  PtcBinding binding_;
+  double noise_sigma_ = 0.0;
+  adept::Rng noise_rng_;
+
+  // dense
+  ag::Tensor dense_weight_;
+  // ptc / supermesh: per tile, per block phase vectors for U and V + Sigma
+  std::vector<std::vector<ag::Tensor>> phi_u_, phi_v_;  // [tile][block] -> [K]
+  std::vector<ag::Tensor> sigma_;                       // [tile] -> [1,K]
+  // ptc: precomputed constant P*T complex matrices per block
+  std::vector<ag::CxTensor> pt_u_, pt_v_;
+};
+
+// Base for ONN layers exposing noise control (used by variation-aware
+// training, see variation.h).
+class OnnLayer : public Module {
+ public:
+  virtual void set_phase_noise(double sigma, std::uint64_t seed) = 0;
+};
+
+class ONNLinear : public OnnLayer {
+ public:
+  ONNLinear(std::int64_t in_features, std::int64_t out_features,
+            const PtcBinding& binding, adept::Rng& rng, bool bias = true);
+  ag::Tensor forward(const ag::Tensor& x) override;  // [N,in] -> [N,out]
+  std::vector<ag::Tensor> parameters() override;
+  void set_phase_noise(double sigma, std::uint64_t seed) override;
+
+ private:
+  std::int64_t in_, out_;
+  PtcWeight weight_;
+  ag::Tensor bias_;
+};
+
+class ONNConv2d : public OnnLayer {
+ public:
+  ONNConv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+            const PtcBinding& binding, adept::Rng& rng, std::int64_t stride = 1,
+            std::int64_t pad = 0, bool bias = true);
+  ag::Tensor forward(const ag::Tensor& x) override;  // [N,C,H,W]
+  std::vector<ag::Tensor> parameters() override;
+  void set_phase_noise(double sigma, std::uint64_t seed) override;
+
+ private:
+  std::int64_t in_c_, out_c_, k_, stride_, pad_;
+  PtcWeight weight_;  // logical [out_c, in_c*k*k]
+  ag::Tensor bias_;
+};
+
+}  // namespace adept::nn

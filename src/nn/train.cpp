@@ -1,0 +1,127 @@
+#include "nn/train.h"
+
+#include <cstdio>
+
+#include "nn/loss.h"
+#include "optim/optimizer.h"
+#include "optim/schedule.h"
+
+namespace adept::nn {
+
+using ag::Tensor;
+
+TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train_set,
+                            const data::SyntheticDataset& test_set,
+                            const TrainConfig& config) {
+  adept::Rng rng(config.seed);
+  data::DataLoader loader(train_set, config.batch_size);
+  optim::Adam opt(model.parameters(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+  const int total_steps = config.epochs * loader.batches_per_epoch();
+  optim::CosineLr schedule(config.lr, total_steps);
+  if (config.train_phase_noise > 0.0) {
+    model.set_phase_noise(config.train_phase_noise, config.seed ^ 0xbeef);
+  }
+
+  TrainStats stats;
+  int step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    model.set_training(true);
+    loader.shuffle(rng);
+    double epoch_loss = 0.0;
+    const int nb = loader.batches_per_epoch();
+    for (int b = 0; b < nb; ++b) {
+      if (config.cosine_lr) opt.set_lr(schedule.at(step));
+      data::Batch batch = loader.batch(b);
+      Tensor logits = model.net->forward(batch.images);
+      Tensor loss = cross_entropy_loss(logits, batch.labels);
+      opt.zero_grad();
+      loss.backward();
+      opt.step();
+      epoch_loss += loss.item();
+      ++step;
+    }
+    stats.train_loss_per_epoch.push_back(epoch_loss / std::max(1, nb));
+    const double noise = config.train_phase_noise;
+    if (noise > 0.0) model.set_phase_noise(0.0, 0);  // nominal evaluation
+    stats.test_accuracy_per_epoch.push_back(evaluate_accuracy(model, test_set));
+    if (noise > 0.0) model.set_phase_noise(noise, config.seed ^ 0xbeef);
+    if (config.verbose) {
+      std::printf("  epoch %d: loss %.4f acc %.4f\n", epoch,
+                  stats.train_loss_per_epoch.back(),
+                  stats.test_accuracy_per_epoch.back());
+    }
+  }
+  stats.final_accuracy = stats.test_accuracy_per_epoch.empty()
+                             ? 0.0
+                             : stats.test_accuracy_per_epoch.back();
+  return stats;
+}
+
+double evaluate_accuracy(OnnModel& model, const data::SyntheticDataset& dataset,
+                         int batch_size, double noise_sigma, std::uint64_t noise_seed) {
+  ag::NoGradGuard guard;
+  model.set_training(false);
+  if (noise_sigma > 0.0) model.set_phase_noise(noise_sigma, noise_seed);
+  data::DataLoader loader(dataset, batch_size);
+  double correct_weighted = 0.0;
+  int total = 0;
+  for (int b = 0; b < loader.batches_per_epoch(); ++b) {
+    data::Batch batch = loader.batch(b);
+    Tensor logits = model.net->forward(batch.images);
+    correct_weighted +=
+        accuracy(logits, batch.labels) * static_cast<double>(batch.labels.size());
+    total += static_cast<int>(batch.labels.size());
+  }
+  if (noise_sigma > 0.0) model.set_phase_noise(0.0, 0);
+  model.set_training(true);
+  return total == 0 ? 0.0 : correct_weighted / total;
+}
+
+OnnProxyTask::OnnProxyTask(const data::SyntheticDataset& train_set,
+                           const data::SyntheticDataset& val_set, int batch_size,
+                           int cnn_width, std::uint64_t seed)
+    : train_set_(train_set),
+      val_set_(val_set),
+      train_loader_(train_set, batch_size),
+      val_loader_(val_set, batch_size),
+      batch_size_(batch_size),
+      cnn_width_(cnn_width),
+      rng_(seed) {}
+
+void OnnProxyTask::bind(core::SuperMesh& mesh) {
+  PtcBinding binding = PtcBinding::searched(&mesh);
+  model_ = make_proxy_cnn(train_set_.spec().channels, train_set_.spec().height,
+                          train_set_.spec().classes, binding, rng_, cnn_width_);
+  train_loader_.shuffle(rng_);
+  val_loader_.shuffle(rng_);
+  bound_ = true;
+}
+
+data::Batch OnnProxyTask::next_batch(bool validation) {
+  data::DataLoader& loader = validation ? val_loader_ : train_loader_;
+  int& cursor = validation ? val_cursor_ : train_cursor_;
+  if (cursor >= loader.batches_per_epoch()) {
+    cursor = 0;
+    loader.shuffle(rng_);
+  }
+  return loader.batch(cursor++);
+}
+
+Tensor OnnProxyTask::loss(core::SuperMesh& mesh, bool validation) {
+  (void)mesh;  // topology expressions already cached by begin_step
+  ag::check(bound_, "OnnProxyTask: bind() not called");
+  data::Batch batch = next_batch(validation);
+  Tensor logits = model_.net->forward(batch.images);
+  return cross_entropy_loss(logits, batch.labels);
+}
+
+std::vector<Tensor> OnnProxyTask::weights() { return model_.parameters(); }
+
+double OnnProxyTask::metric(core::SuperMesh& mesh) {
+  ag::NoGradGuard guard;
+  adept::Rng eval_rng(11);
+  mesh.begin_step(/*tau=*/0.5, eval_rng, /*stochastic=*/false);
+  return evaluate_accuracy(model_, val_set_, batch_size_);
+}
+
+}  // namespace adept::nn

@@ -1,0 +1,15 @@
+#include "nn/variation.h"
+
+namespace adept::nn {
+
+void enable_variation_aware_training(OnnModel& model, const VariationConfig& config) {
+  model.set_phase_noise(config.train_noise_sigma, config.noise_seed);
+}
+
+void disable_phase_noise(OnnModel& model) { model.set_phase_noise(0.0, 0); }
+
+void set_test_noise(OnnModel& model, double sigma, std::uint64_t seed) {
+  model.set_phase_noise(sigma, seed);
+}
+
+}  // namespace adept::nn

@@ -1,0 +1,27 @@
+// Variation-aware training and robustness evaluation (paper Sec. 4.1/4.2,
+// Fig. 4): train with Gaussian phase noise injected into every photonic
+// phase shifter on each forward pass, then evaluate accuracy under test-time
+// phase drift of increasing intensity.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/models.h"
+
+namespace adept::nn {
+
+struct VariationConfig {
+  double train_noise_sigma = 0.02;  // paper: N(0, 0.02^2) during training
+  std::uint64_t noise_seed = 1234;
+};
+
+// Enable training-time phase noise on all photonic layers of the model.
+void enable_variation_aware_training(OnnModel& model, const VariationConfig& config);
+
+// Disable noise (nominal inference).
+void disable_phase_noise(OnnModel& model);
+
+// Set test-time drift of the given sigma (robustness sweeps).
+void set_test_noise(OnnModel& model, double sigma, std::uint64_t seed);
+
+}  // namespace adept::nn

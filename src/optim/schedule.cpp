@@ -1,0 +1,30 @@
+#include "optim/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adept::optim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+CosineLr::CosineLr(double base_lr, std::int64_t total_steps, double min_lr)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(std::max<std::int64_t>(total_steps, 1)) {}
+
+double CosineLr::at(std::int64_t step) const {
+  const double progress =
+      std::clamp(static_cast<double>(step) / static_cast<double>(total_steps_), 0.0, 1.0);
+  return min_lr_ + 0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(kPi * progress));
+}
+
+ExponentialDecay::ExponentialDecay(double start, double end, std::int64_t total_steps)
+    : start_(start), end_(end), total_steps_(std::max<std::int64_t>(total_steps, 1)) {}
+
+double ExponentialDecay::at(std::int64_t step) const {
+  const double progress =
+      std::clamp(static_cast<double>(step) / static_cast<double>(total_steps_), 0.0, 1.0);
+  return start_ * std::pow(end_ / start_, progress);
+}
+
+}  // namespace adept::optim

@@ -1,0 +1,34 @@
+// Learning-rate and temperature schedules used by the paper's training
+// recipe: cosine-annealed lr, exponentially decayed Gumbel temperature
+// (tau: 5 -> 0.5 over training).
+#pragma once
+
+#include <cstdint>
+
+namespace adept::optim {
+
+// Cosine annealing from base_lr to min_lr over total_steps.
+class CosineLr {
+ public:
+  CosineLr(double base_lr, std::int64_t total_steps, double min_lr = 0.0);
+  double at(std::int64_t step) const;
+
+ private:
+  double base_lr_;
+  double min_lr_;
+  std::int64_t total_steps_;
+};
+
+// Exponential interpolation start -> end over total_steps.
+class ExponentialDecay {
+ public:
+  ExponentialDecay(double start, double end, std::int64_t total_steps);
+  double at(std::int64_t step) const;
+
+ private:
+  double start_;
+  double end_;
+  std::int64_t total_steps_;
+};
+
+}  // namespace adept::optim

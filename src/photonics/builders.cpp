@@ -1,0 +1,124 @@
+#include "photonics/builders.h"
+
+#include <stdexcept>
+
+namespace adept::photonics {
+
+namespace {
+
+bool is_power_of_two(int k) { return k > 0 && (k & (k - 1)) == 0; }
+
+std::vector<BlockSpec> clements_unitary(int k) {
+  std::vector<BlockSpec> blocks;
+  blocks.reserve(static_cast<std::size_t>(2 * k));
+  for (int col = 0; col < k; ++col) {
+    const int parity = col % 2;
+    const std::int64_t slots = dc_slots(k, parity);
+    // One MZI = PS + DC + PS + DC; expressed as two PS/DC blocks.
+    for (int half = 0; half < 2; ++half) {
+      BlockSpec b;
+      b.start = parity;
+      b.dc_mask.assign(static_cast<std::size_t>(slots), true);
+      b.perm = Permutation::identity(k);
+      blocks.push_back(std::move(b));
+    }
+  }
+  return blocks;
+}
+
+// Riffle permutation within groups of size 2s: positions (2m, 2m+1) in each
+// group pull from sources (m, m+s). Realizes the inter-stage butterfly
+// routing at the minimum crossing cost s(s-1)/2 per group.
+Permutation riffle(int k, int s) {
+  std::vector<int> map(static_cast<std::size_t>(k));
+  const int group = 2 * s;
+  for (int g = 0; g < k; g += group) {
+    for (int m = 0; m < s; ++m) {
+      map[static_cast<std::size_t>(g + 2 * m)] = g + m;
+      map[static_cast<std::size_t>(g + 2 * m + 1)] = g + m + s;
+    }
+  }
+  return Permutation(std::move(map));
+}
+
+std::vector<BlockSpec> butterfly_unitary(int k) {
+  int stages = 0;
+  for (int s = 1; s < k; s *= 2) ++stages;
+  std::vector<BlockSpec> blocks;
+  blocks.reserve(static_cast<std::size_t>(stages));
+  for (int i = 0; i < stages; ++i) {
+    BlockSpec b;
+    b.start = 0;
+    b.dc_mask.assign(static_cast<std::size_t>(k / 2), true);
+    // Route the next stage's stride-2^(i+1) partners adjacent; the final
+    // stage needs no routing (outputs stay in permuted order).
+    b.perm = (i + 1 < stages) ? riffle(k, 1 << (i + 1)) : Permutation::identity(k);
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+}  // namespace
+
+PtcTopology clements_mzi(int k) {
+  if (k <= 0 || k % 2 != 0) throw std::invalid_argument("clements_mzi: even K > 0");
+  PtcTopology topo;
+  topo.k = k;
+  topo.name = "MZI";
+  topo.u_blocks = clements_unitary(k);
+  topo.v_blocks = clements_unitary(k);
+  topo.validate();
+  return topo;
+}
+
+PtcTopology butterfly(int k) {
+  if (!is_power_of_two(k) || k < 2) {
+    throw std::invalid_argument("butterfly: K must be a power of two >= 2");
+  }
+  PtcTopology topo;
+  topo.k = k;
+  topo.name = "FFT";
+  topo.u_blocks = butterfly_unitary(k);
+  topo.v_blocks = butterfly_unitary(k);
+  topo.validate();
+  return topo;
+}
+
+PtcTopology random_topology(int k, int blocks_per_unitary, adept::Rng& rng,
+                            double dc_density) {
+  if (k <= 0 || k % 2 != 0) throw std::invalid_argument("random_topology: even K > 0");
+  auto make_blocks = [&]() {
+    std::vector<BlockSpec> blocks;
+    for (int b = 0; b < blocks_per_unitary; ++b) {
+      BlockSpec spec;
+      spec.start = interleaved_parity(b);
+      const std::int64_t slots = dc_slots(k, spec.start);
+      spec.dc_mask.resize(static_cast<std::size_t>(slots));
+      for (std::int64_t s = 0; s < slots; ++s) {
+        spec.dc_mask[static_cast<std::size_t>(s)] = rng.bernoulli(dc_density);
+      }
+      spec.perm = Permutation::random(k, rng);
+      blocks.push_back(std::move(spec));
+    }
+    return blocks;
+  };
+  PtcTopology topo;
+  topo.k = k;
+  topo.name = "random";
+  topo.u_blocks = make_blocks();
+  topo.v_blocks = make_blocks();
+  topo.validate();
+  return topo;
+}
+
+std::int64_t butterfly_crossings_per_unitary(int k) {
+  // Sum over inter-stage riffles: groups of size 2s cost s(s-1)/2 each.
+  std::int64_t total = 0;
+  for (int s = 2; s < k; s *= 2) {
+    const std::int64_t groups = k / (2 * s);
+    total += groups * (static_cast<std::int64_t>(s) * (s - 1) / 2);
+  }
+  return total;
+}
+
+}  // namespace adept::photonics

@@ -1,0 +1,37 @@
+// Constructors for hand-designed baseline PTC topologies, expressed in the
+// same block IR as searched designs so all downstream accounting is shared.
+//
+// Device-count identities (verified against the paper's Tables 1/2):
+//   Clements MZI mesh, K x K, U and V together:
+//     #Blk = 4K,  #DC = 2K(K-1),  #CR = 0,  #PS = K * #Blk
+//   Butterfly (FFT) mesh, K x K, U and V together (K a power of two):
+//     #Blk = 2*log2(K), #DC = K*log2(K),
+//     #CR  = 2 * sum_{i=0}^{log2(K)-2} (K / 2^{i+2}) * 2^i (2^i+1 ... )
+//     (per-stage riffle cost; 8/44/208 per unitary for K = 8/16/32).
+#pragma once
+
+#include "common/rng.h"
+#include "photonics/topology.h"
+
+namespace adept::photonics {
+
+// Rectangular Clements MZI mesh: K columns of MZIs per unitary, each MZI
+// decomposed as two blocks (PS column + full DC column), no crossings.
+PtcTopology clements_mzi(int k);
+
+// Butterfly (FFT-style) mesh: log2(K) stages per unitary; stage i couples
+// stride-2^i partners. Inter-stage routing uses per-group riffle
+// permutations; the final stage leaves outputs in permuted order (absorbed
+// by the trainable Sigma/V), matching the paper's crossing accounting.
+PtcTopology butterfly(int k);
+
+// Random topology with `blocks` blocks per unitary: interleaved parities,
+// couplers present with probability dc_density, uniform random permutations.
+// Used for search-space exploration baselines and tests.
+PtcTopology random_topology(int k, int blocks_per_unitary, adept::Rng& rng,
+                            double dc_density = 0.5);
+
+// Crossing count of one butterfly unitary (closed form used in tests).
+std::int64_t butterfly_crossings_per_unitary(int k);
+
+}  // namespace adept::photonics

@@ -1,0 +1,83 @@
+#include "photonics/devices.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adept::photonics {
+
+double balanced_coupler_t() { return std::sqrt(2.0) / 2.0; }
+
+cplx phase_shifter(double phi) { return std::exp(cplx(0.0, -phi)); }
+
+CMat coupler(double t) {
+  if (t < 0.0 || t > 1.0) throw std::invalid_argument("coupler: t out of [0,1]");
+  const double cross = std::sqrt(1.0 - t * t);
+  CMat m(2, 2);
+  m.at(0, 0) = t;
+  m.at(1, 1) = t;
+  m.at(0, 1) = cplx(0.0, cross);
+  m.at(1, 0) = cplx(0.0, cross);
+  return m;
+}
+
+CMat crossing() {
+  CMat m(2, 2);
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  return m;
+}
+
+CMat mzi(double theta, double phi) {
+  // DC * PS(theta on arm 0) * DC * PS(phi on arm 0)
+  CMat dc = coupler(balanced_coupler_t());
+  CMat ps_theta = CMat::identity(2);
+  ps_theta.at(0, 0) = phase_shifter(theta);
+  CMat ps_phi = CMat::identity(2);
+  ps_phi.at(0, 0) = phase_shifter(phi);
+  return dc * ps_theta * dc * ps_phi;
+}
+
+CMat phase_column_matrix(const std::vector<double>& phis) {
+  const std::int64_t k = static_cast<std::int64_t>(phis.size());
+  CMat m(k, k);
+  for (std::int64_t i = 0; i < k; ++i) {
+    m.at(i, i) = phase_shifter(phis[static_cast<std::size_t>(i)]);
+  }
+  return m;
+}
+
+CMat coupler_column_matrix(std::int64_t k, std::int64_t start,
+                           const std::vector<bool>& mask,
+                           const std::vector<double>& t) {
+  if (start != 0 && start != 1) {
+    throw std::invalid_argument("coupler_column_matrix: start must be 0/1");
+  }
+  const std::int64_t slots = static_cast<std::int64_t>(mask.size());
+  if (start + 2 * slots > k) {
+    throw std::invalid_argument("coupler_column_matrix: too many slots");
+  }
+  if (t.size() != mask.size()) {
+    throw std::invalid_argument("coupler_column_matrix: t/mask size mismatch");
+  }
+  CMat m = CMat::identity(k);
+  for (std::int64_t s = 0; s < slots; ++s) {
+    if (!mask[static_cast<std::size_t>(s)]) continue;
+    const std::int64_t a = start + 2 * s;
+    const double tv = t[static_cast<std::size_t>(s)];
+    const double cross = std::sqrt(std::max(0.0, 1.0 - tv * tv));
+    m.at(a, a) = tv;
+    m.at(a + 1, a + 1) = tv;
+    m.at(a, a + 1) = cplx(0.0, cross);
+    m.at(a + 1, a) = cplx(0.0, cross);
+  }
+  return m;
+}
+
+CMat balanced_coupler_column(std::int64_t k, std::int64_t start) {
+  const std::int64_t slots = (k - start) / 2;
+  return coupler_column_matrix(
+      k, start, std::vector<bool>(static_cast<std::size_t>(slots), true),
+      std::vector<double>(static_cast<std::size_t>(slots), balanced_coupler_t()));
+}
+
+}  // namespace adept::photonics

@@ -1,0 +1,49 @@
+// Transfer-matrix models of the basic optical devices (paper Sec. 2.1).
+//
+//   phase shifter   y = exp(-j*phi) * x                (active, programmable)
+//   directional     [[t, j*sqrt(1-t^2)],               (passive, fixed)
+//   coupler          [j*sqrt(1-t^2), t]]
+//   crossing        2x2 swap                           (passive, fixed)
+//   MZI             2 couplers + 2 phase shifters      (hand-designed cell)
+//
+// These build the circuit-level (complex<double>) simulation used by tests,
+// noise evaluation, and baseline constructions. The differentiable versions
+// used during SuperMesh training live in autograd/complex.h.
+#pragma once
+
+#include <vector>
+
+#include "photonics/linalg.h"
+
+namespace adept::photonics {
+
+// 50:50 coupler transmission coefficient, t = sqrt(2)/2.
+double balanced_coupler_t();
+
+// 1x1 phase shifter response exp(-j*phi).
+cplx phase_shifter(double phi);
+
+// 2x2 directional coupler with transmission t in [0, 1].
+CMat coupler(double t);
+
+// 2x2 waveguide crossing (swap).
+CMat crossing();
+
+// 2x2 MZI: external phase phi on the top arm, internal phase theta between
+// two 50:50 couplers. Universal 2-D unitary up to output phases.
+CMat mzi(double theta, double phi);
+
+// K x K diagonal phase-shifter column diag(exp(-j*phi_k)).
+CMat phase_column_matrix(const std::vector<double>& phis);
+
+// K x K coupler column: couplers (with per-slot transmission t) on waveguide
+// pairs (start + 2i, start + 2i + 1); uncovered waveguides pass through.
+// mask[i] == false means slot i carries no coupler (bar state, identity).
+CMat coupler_column_matrix(std::int64_t k, std::int64_t start,
+                           const std::vector<bool>& mask,
+                           const std::vector<double>& t);
+
+// Convenience: all-coupler balanced column.
+CMat balanced_coupler_column(std::int64_t k, std::int64_t start);
+
+}  // namespace adept::photonics

@@ -1,0 +1,170 @@
+#include "photonics/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adept::photonics {
+
+CMat CMat::identity(std::int64_t n) {
+  CMat m(n, n);
+  for (std::int64_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+CMat CMat::operator*(const CMat& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("CMat multiply: dim mismatch");
+  CMat out(rows_, rhs.cols_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = 0; k < cols_; ++k) {
+      const cplx a = at(i, k);
+      if (a == cplx(0.0, 0.0)) continue;
+      for (std::int64_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<cplx> CMat::operator*(const std::vector<cplx>& v) const {
+  if (static_cast<std::int64_t>(v.size()) != cols_) {
+    throw std::invalid_argument("CMat vec multiply: dim mismatch");
+  }
+  std::vector<cplx> out(static_cast<std::size_t>(rows_), cplx(0.0, 0.0));
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    cplx acc(0.0, 0.0);
+    for (std::int64_t j = 0; j < cols_; ++j) acc += at(i, j) * v[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+CMat CMat::adjoint() const {
+  CMat out(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) out.at(j, i) = std::conj(at(i, j));
+  }
+  return out;
+}
+
+double CMat::max_abs_diff(const CMat& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("CMat max_abs_diff: shape mismatch");
+  }
+  double mx = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::abs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+double CMat::unitarity_error() const {
+  CMat prod = (*this) * adjoint();
+  return prod.max_abs_diff(CMat::identity(rows_));
+}
+
+double CMat::frobenius() const {
+  double acc = 0.0;
+  for (const auto& z : data_) acc += std::norm(z);
+  return std::sqrt(acc);
+}
+
+RMat RMat::identity(std::int64_t n) {
+  RMat m(n, n);
+  for (std::int64_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+RMat RMat::operator*(const RMat& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("RMat multiply: dim mismatch");
+  RMat out(rows_, rhs.cols_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::int64_t j = 0; j < rhs.cols_; ++j) out.at(i, j) += a * rhs.at(k, j);
+    }
+  }
+  return out;
+}
+
+RMat RMat::transposed() const {
+  RMat out(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+double RMat::max_abs_diff(const RMat& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("RMat max_abs_diff: shape mismatch");
+  }
+  double mx = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+SvdResult jacobi_svd(const RMat& a, int max_sweeps, double tol) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("jacobi_svd: square only");
+  const std::int64_t n = a.rows();
+  // One-sided Jacobi: rotate columns of W = A * V until pairwise orthogonal.
+  RMat w = a;
+  RMat v = RMat::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          app += w.at(i, p) * w.at(i, p);
+          aqq += w.at(i, q) * w.at(i, q);
+          apq += w.at(i, p) * w.at(i, q);
+        }
+        off = std::max(off, std::fabs(apq));
+        if (std::fabs(apq) < tol * std::sqrt(std::max(app * aqq, 1e-300))) continue;
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double wp = w.at(i, p), wq = w.at(i, q);
+          w.at(i, p) = c * wp - s * wq;
+          w.at(i, q) = s * wp + c * wq;
+          const double vp = v.at(i, p), vq = v.at(i, q);
+          v.at(i, p) = c * vp - s * vq;
+          v.at(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < tol) break;
+  }
+  SvdResult result;
+  result.s.assign(static_cast<std::size_t>(n), 0.0);
+  result.u = RMat(n, n);
+  result.v = v;
+  for (std::int64_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) norm += w.at(i, j) * w.at(i, j);
+    norm = std::sqrt(norm);
+    result.s[static_cast<std::size_t>(j)] = norm;
+    if (norm > 1e-300) {
+      for (std::int64_t i = 0; i < n; ++i) result.u.at(i, j) = w.at(i, j) / norm;
+    } else {
+      // Degenerate column: use a unit vector to keep U well-formed.
+      result.u.at(j, j) = 1.0;
+    }
+  }
+  return result;
+}
+
+RMat procrustes_orthogonalize(const RMat& a) {
+  SvdResult svd = jacobi_svd(a);
+  return svd.u * svd.v.transposed();
+}
+
+}  // namespace adept::photonics

@@ -1,0 +1,99 @@
+// Dense complex / real matrix algebra for photonic circuit simulation.
+//
+// Circuit-level (non-autograd) simulation runs in double precision complex
+// arithmetic: unitarity checks, noise-injection evaluation, and the SVD
+// projection inside stochastic permutation legalization all live here.
+// Matrices are small (K <= 64 waveguides), so simple dense algorithms are the
+// right tool (CppCoreGuidelines P.9: don't pay for generality we don't use).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace adept::photonics {
+
+using cplx = std::complex<double>;
+
+// Dense row-major complex matrix.
+class CMat {
+ public:
+  CMat() = default;
+  CMat(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {}
+
+  static CMat identity(std::int64_t n);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  cplx& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const cplx& at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  std::vector<cplx>& data() { return data_; }
+  const std::vector<cplx>& data() const { return data_; }
+
+  CMat operator*(const CMat& rhs) const;
+  std::vector<cplx> operator*(const std::vector<cplx>& v) const;
+  CMat adjoint() const;
+
+  // max_ij |a_ij - b_ij|
+  double max_abs_diff(const CMat& other) const;
+  // max_ij |(A A^H - I)_ij|; zero for unitary matrices.
+  double unitarity_error() const;
+  // Frobenius norm.
+  double frobenius() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+// Dense row-major real matrix (used by the SPL SVD projection).
+class RMat {
+ public:
+  RMat() = default;
+  RMat(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), 0.0) {}
+
+  static RMat identity(std::int64_t n);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  double& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const double& at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  RMat operator*(const RMat& rhs) const;
+  RMat transposed() const;
+  double max_abs_diff(const RMat& other) const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Thin SVD of a square real matrix A = U * diag(s) * V^T via one-sided
+// Jacobi rotations. Singular values are non-negative, in no guaranteed
+// order. Accurate to ~1e-12 for the K <= 64 sizes used here.
+struct SvdResult {
+  RMat u;
+  std::vector<double> s;
+  RMat v;
+};
+SvdResult jacobi_svd(const RMat& a, int max_sweeps = 60, double tol = 1e-13);
+
+// Orthogonal Procrustes projection: the orthogonal matrix U V^T closest (in
+// Frobenius norm) to A. Used by stochastic permutation legalization (Eq. 13).
+RMat procrustes_orthogonalize(const RMat& a);
+
+}  // namespace adept::photonics

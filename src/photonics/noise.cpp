@@ -1,0 +1,37 @@
+#include "photonics/noise.h"
+
+namespace adept::photonics {
+
+MeshPhases NoiseModel::perturb(const MeshPhases& phases, adept::Rng& rng) const {
+  MeshPhases out = phases;
+  if (phase_sigma <= 0.0) return out;
+  for (auto& block : out.per_block) {
+    for (auto& phi : block) phi += rng.normal(0.0, phase_sigma);
+  }
+  return out;
+}
+
+double mean_matrix_error_under_noise(const PtcTopology& topo,
+                                     const MeshPhases& u_phases,
+                                     const MeshPhases& v_phases,
+                                     const std::vector<double>& sigma_diag,
+                                     double phase_sigma, int trials,
+                                     adept::Rng& rng) {
+  const CMat nominal = weight_transfer(topo, u_phases, v_phases, sigma_diag);
+  const double base_norm = std::max(nominal.frobenius(), 1e-12);
+  NoiseModel noise{phase_sigma};
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const MeshPhases u_noisy = noise.perturb(u_phases, rng);
+    const MeshPhases v_noisy = noise.perturb(v_phases, rng);
+    const CMat noisy = weight_transfer(topo, u_noisy, v_noisy, sigma_diag);
+    double err = 0.0;
+    for (std::size_t i = 0; i < noisy.data().size(); ++i) {
+      err += std::norm(noisy.data()[i] - nominal.data()[i]);
+    }
+    acc += std::sqrt(err) / base_norm;
+  }
+  return acc / static_cast<double>(trials);
+}
+
+}  // namespace adept::photonics

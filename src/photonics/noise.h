@@ -1,0 +1,33 @@
+// Phase-variation noise model (paper Sec. 4.1 / Fig. 4).
+//
+// Thermal crosstalk and fabrication variation perturb programmed phase
+// shifts; the paper models this as i.i.d. Gaussian drift added to every
+// phase, evaluates robustness at sigma in [0.02, 0.10] rad, and counters it
+// with variation-aware training (noise injected during training forward
+// passes).
+#pragma once
+
+#include "common/rng.h"
+#include "photonics/topology.h"
+
+namespace adept::photonics {
+
+struct NoiseModel {
+  double phase_sigma = 0.0;  // std-dev of Gaussian phase drift (radians)
+
+  // Perturb one mesh's phases.
+  MeshPhases perturb(const MeshPhases& phases, adept::Rng& rng) const;
+};
+
+// Monte-Carlo matrix fidelity under phase noise: mean Frobenius-norm error
+// between the nominal transfer matrix and noisy realizations, normalized by
+// the nominal norm. Deeper meshes accumulate more drift (MZI vs FFT in
+// Fig. 4).
+double mean_matrix_error_under_noise(const PtcTopology& topo,
+                                     const MeshPhases& u_phases,
+                                     const MeshPhases& v_phases,
+                                     const std::vector<double>& sigma_diag,
+                                     double phase_sigma, int trials,
+                                     adept::Rng& rng);
+
+}  // namespace adept::photonics

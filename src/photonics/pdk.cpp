@@ -1,0 +1,9 @@
+#include "photonics/pdk.h"
+
+namespace adept::photonics {
+
+Pdk Pdk::amf() { return Pdk{"AMF", 6800.0, 1500.0, 64.0}; }
+
+Pdk Pdk::aim() { return Pdk{"AIM", 2500.0, 4000.0, 4900.0}; }
+
+}  // namespace adept::photonics

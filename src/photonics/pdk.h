@@ -1,0 +1,24 @@
+// Foundry process-design-kit (PDK) device footprints.
+//
+// The paper evaluates against two real PDKs whose per-device areas it quotes:
+//   AMF  (Advanced Micro Foundry):  PS 6800, DC 1500, CR   64  um^2
+//   AIM  (AIM Photonics):           PS 2500, DC 4000, CR 4900  um^2
+// AIM's large crossings are what drive ADEPT to search crossing-free
+// topologies in Table 2.
+#pragma once
+
+#include <string>
+
+namespace adept::photonics {
+
+struct Pdk {
+  std::string name;
+  double ps_area_um2 = 0.0;  // phase shifter
+  double dc_area_um2 = 0.0;  // directional coupler
+  double cr_area_um2 = 0.0;  // waveguide crossing
+
+  static Pdk amf();
+  static Pdk aim();
+};
+
+}  // namespace adept::photonics

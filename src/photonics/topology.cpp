@@ -1,0 +1,159 @@
+#include "photonics/topology.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "photonics/devices.h"
+
+namespace adept::photonics {
+
+std::int64_t BlockSpec::num_dc() const {
+  std::int64_t n = 0;
+  for (bool b : dc_mask) n += b ? 1 : 0;
+  return n;
+}
+
+std::int64_t BlockSpec::num_cr() const { return crossing_count(perm); }
+
+DeviceCounts PtcTopology::counts() const {
+  DeviceCounts c;
+  for (const auto* blocks : {&u_blocks, &v_blocks}) {
+    for (const auto& b : *blocks) {
+      c.ps += k;  // full PS column per block (paper Sec. 3.4)
+      c.dc += b.num_dc();
+      c.cr += b.num_cr();
+      ++c.blocks;
+    }
+  }
+  return c;
+}
+
+double PtcTopology::footprint_um2(const Pdk& pdk) const {
+  const DeviceCounts c = counts();
+  return static_cast<double>(c.ps) * pdk.ps_area_um2 +
+         static_cast<double>(c.dc) * pdk.dc_area_um2 +
+         static_cast<double>(c.cr) * pdk.cr_area_um2;
+}
+
+void PtcTopology::validate() const {
+  if (k <= 0 || k % 2 != 0) {
+    throw std::invalid_argument("PtcTopology: K must be positive and even");
+  }
+  for (const auto* blocks : {&u_blocks, &v_blocks}) {
+    for (const auto& b : *blocks) {
+      if (b.start != 0 && b.start != 1) {
+        throw std::invalid_argument("PtcTopology: bad parity");
+      }
+      if (static_cast<std::int64_t>(b.dc_mask.size()) != dc_slots(k, b.start)) {
+        throw std::invalid_argument("PtcTopology: bad dc_mask size");
+      }
+      if (b.perm.size() != k) {
+        throw std::invalid_argument("PtcTopology: bad perm size");
+      }
+    }
+  }
+}
+
+namespace {
+
+void serialize_blocks(std::ostringstream& os, const std::vector<BlockSpec>& blocks) {
+  os << blocks.size() << "\n";
+  for (const auto& b : blocks) {
+    os << b.start << " " << b.dc_mask.size() << " ";
+    for (bool m : b.dc_mask) os << (m ? 1 : 0);
+    os << " ";
+    for (int i = 0; i < b.perm.size(); ++i) {
+      if (i > 0) os << ",";
+      os << b.perm(i);
+    }
+    os << "\n";
+  }
+}
+
+std::vector<BlockSpec> deserialize_blocks(std::istringstream& is, int k) {
+  std::size_t n = 0;
+  is >> n;
+  std::vector<BlockSpec> blocks(n);
+  for (auto& b : blocks) {
+    std::size_t mask_size = 0;
+    std::string mask_str, perm_str;
+    is >> b.start >> mask_size >> mask_str >> perm_str;
+    if (mask_str.size() != mask_size) {
+      throw std::invalid_argument("PtcTopology::deserialize: bad mask");
+    }
+    b.dc_mask.resize(mask_size);
+    for (std::size_t i = 0; i < mask_size; ++i) b.dc_mask[i] = mask_str[i] == '1';
+    std::vector<int> map;
+    std::stringstream ps(perm_str);
+    std::string tok;
+    while (std::getline(ps, tok, ',')) map.push_back(std::stoi(tok));
+    if (static_cast<int>(map.size()) != k) {
+      throw std::invalid_argument("PtcTopology::deserialize: bad perm");
+    }
+    b.perm = Permutation(std::move(map));
+  }
+  return blocks;
+}
+
+}  // namespace
+
+std::string PtcTopology::serialize() const {
+  std::ostringstream os;
+  os << "ptc " << k << " " << (name.empty() ? "-" : name) << "\n";
+  serialize_blocks(os, u_blocks);
+  serialize_blocks(os, v_blocks);
+  return os.str();
+}
+
+PtcTopology PtcTopology::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  PtcTopology topo;
+  is >> magic >> topo.k >> topo.name;
+  if (magic != "ptc") throw std::invalid_argument("PtcTopology::deserialize: bad magic");
+  if (topo.name == "-") topo.name.clear();
+  topo.u_blocks = deserialize_blocks(is, topo.k);
+  topo.v_blocks = deserialize_blocks(is, topo.k);
+  topo.validate();
+  return topo;
+}
+
+int interleaved_parity(int block_index) { return block_index % 2 == 0 ? 0 : 1; }
+
+std::int64_t dc_slots(int k, int start) { return (k - start) / 2; }
+
+CMat block_transfer(const BlockSpec& block, int k, const std::vector<double>& phases) {
+  if (static_cast<int>(phases.size()) != k) {
+    throw std::invalid_argument("block_transfer: need K phases");
+  }
+  const CMat r = phase_column_matrix(phases);
+  const std::vector<double> t(block.dc_mask.size(), balanced_coupler_t());
+  const CMat tmat = coupler_column_matrix(k, block.start, block.dc_mask, t);
+  const CMat p = block.perm.to_cmatrix();
+  return p * tmat * r;
+}
+
+CMat mesh_transfer(const std::vector<BlockSpec>& blocks, int k, const MeshPhases& phases) {
+  if (phases.per_block.size() != blocks.size()) {
+    throw std::invalid_argument("mesh_transfer: phase/block count mismatch");
+  }
+  CMat u = CMat::identity(k);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    u = block_transfer(blocks[b], k, phases.per_block[b]) * u;
+  }
+  return u;
+}
+
+CMat weight_transfer(const PtcTopology& topo, const MeshPhases& u_phases,
+                     const MeshPhases& v_phases, const std::vector<double>& sigma) {
+  if (static_cast<int>(sigma.size()) != topo.k) {
+    throw std::invalid_argument("weight_transfer: sigma size");
+  }
+  const CMat u = mesh_transfer(topo.u_blocks, topo.k, u_phases);
+  const CMat v = mesh_transfer(topo.v_blocks, topo.k, v_phases);
+  CMat s(topo.k, topo.k);
+  for (int i = 0; i < topo.k; ++i) s.at(i, i) = sigma[static_cast<std::size_t>(i)];
+  return u * s * v;
+}
+
+}  // namespace adept::photonics

@@ -1,0 +1,88 @@
+// PTC topology intermediate representation (IR).
+//
+// A photonic tensor core unitary is a cascade of blocks (paper Eq. 2):
+//     U = prod_b  P_b * T_b * R(Phi_b)
+// where R is a phase-shifter column (always K shifters — active devices kept
+// for programmability), T_b a directional-coupler column (passive; each slot
+// either carries a 50:50 coupler or a bar-through), and P_b a waveguide-
+// crossing permutation. A weight tile is W = U * Sigma * V with both U and V
+// described by block lists.
+//
+// The same IR expresses the searched ADEPT designs and the hand-crafted
+// baselines (Clements MZI mesh, butterfly/FFT mesh; see builders.h), so
+// footprint accounting, ONN execution, and noise injection are shared code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "photonics/pdk.h"
+#include "photonics/permutation.h"
+
+namespace adept::photonics {
+
+// One PS + DC + CR block.
+struct BlockSpec {
+  int start = 0;                 // DC column start parity s_b (0 or 1)
+  std::vector<bool> dc_mask;     // coupler present per slot; size (K-start)/2
+  Permutation perm;              // CR layer permutation
+
+  std::int64_t num_dc() const;
+  std::int64_t num_cr() const;
+};
+
+// Device census for one unitary or a full U/V pair.
+struct DeviceCounts {
+  std::int64_t ps = 0;
+  std::int64_t dc = 0;
+  std::int64_t cr = 0;
+  std::int64_t blocks = 0;
+};
+
+struct PtcTopology {
+  int k = 0;                        // waveguide count (tile size K)
+  std::vector<BlockSpec> u_blocks;  // blocks of U (B_U entries)
+  std::vector<BlockSpec> v_blocks;  // blocks of V (B_V entries)
+  std::string name;                 // e.g. "ADEPT-a2", "MZI", "FFT"
+
+  DeviceCounts counts() const;
+  // Total footprint in um^2 under a PDK: #PS*F_PS + #DC*F_DC + #CR*F_CR.
+  double footprint_um2(const Pdk& pdk) const;
+
+  // Structural validation (parities, mask sizes, perm sizes). Throws on
+  // malformed topologies.
+  void validate() const;
+
+  // Round-trippable text serialization (one topology per string).
+  std::string serialize() const;
+  static PtcTopology deserialize(const std::string& text);
+};
+
+// Expected parity for block index b (paper Sec. 3.2: s_b = 0 for even block
+// index, 1 for odd, so cascaded DC layers interleave).
+int interleaved_parity(int block_index);
+
+// Number of DC slots for a given K and parity.
+std::int64_t dc_slots(int k, int start);
+
+// ---- circuit-level simulation (complex<double>) -------------------------
+
+// Programmable state of one unitary mesh: one phase per shifter per block.
+struct MeshPhases {
+  // per_block[b] has K entries.
+  std::vector<std::vector<double>> per_block;
+};
+
+// Transfer matrix of one block given its phases.
+CMat block_transfer(const BlockSpec& block, int k, const std::vector<double>& phases);
+
+// Transfer matrix of a full unitary mesh: prod_b P_b T_b R(Phi_b), with
+// block 0 applied first (rightmost factor).
+CMat mesh_transfer(const std::vector<BlockSpec>& blocks, int k, const MeshPhases& phases);
+
+// W = U * diag(sigma) * V for a full topology.
+CMat weight_transfer(const PtcTopology& topo, const MeshPhases& u_phases,
+                     const MeshPhases& v_phases, const std::vector<double>& sigma);
+
+}  // namespace adept::photonics

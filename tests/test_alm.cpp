@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/alm.h"
+#include "core/reparam.h"
+#include "optim/optimizer.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+using adept::Rng;
+using ag::Tensor;
+
+TEST(Alm, GapsZeroForPermutation) {
+  Tensor p = Tensor::from_data({3, 3}, {0, 1, 0, 0, 0, 1, 1, 0, 0}, false);
+  for (double g : core::row_norm_gaps(p)) EXPECT_NEAR(g, 0.0, 1e-6);
+  for (double g : core::col_norm_gaps(p)) EXPECT_NEAR(g, 0.0, 1e-6);
+}
+
+TEST(Alm, GapsPositiveForUniform) {
+  Tensor p = Tensor::full({4, 4}, 0.25f);
+  // l1 = 1, l2 = 0.5 per row -> gap 0.5
+  for (double g : core::row_norm_gaps(p)) EXPECT_NEAR(g, 0.5, 1e-5);
+  for (double g : core::col_norm_gaps(p)) EXPECT_NEAR(g, 0.5, 1e-5);
+}
+
+TEST(Alm, PenaltyZeroWithZeroMultipliers) {
+  core::AlmConfig config;
+  core::AlmState alm(1, 4, config);
+  Tensor p = Tensor::full({4, 4}, 0.25f, true);
+  EXPECT_NEAR(alm.penalty({p}).item(), 0.0, 1e-7);  // lambda starts at zero
+}
+
+TEST(Alm, MultiplierUpdateMatchesEq12) {
+  core::AlmConfig config;
+  config.rho0 = 0.1;
+  config.rho_growth = 1.0;  // keep rho fixed for the hand computation
+  core::AlmState alm(1, 2, config);
+  // P uniform 0.5: row gap = 1 - sqrt(0.5) per row
+  Tensor p = Tensor::full({2, 2}, 0.5f, false);
+  alm.update({p});
+  const double gap = 1.0 - std::sqrt(0.5);
+  const double expected_lambda = 0.1 * (gap + 0.5 * gap * gap);
+  EXPECT_NEAR(alm.mean_lambda(), expected_lambda, 1e-6);
+}
+
+TEST(Alm, PenaltyPositiveAfterUpdate) {
+  core::AlmConfig config;
+  config.rho0 = 0.5;
+  core::AlmState alm(1, 4, config);
+  Tensor p = Tensor::full({4, 4}, 0.25f, true);
+  alm.update({p});
+  EXPECT_GT(alm.penalty({p}).item(), 0.0);
+}
+
+TEST(Alm, RhoScheduleGrowsAndCaps) {
+  core::AlmConfig config;
+  config.rho0 = 1e-7;
+  config.rho_max_ratio = 1e4;
+  core::AlmState alm(1, 4, config);
+  alm.set_horizon(100);
+  Tensor p = Tensor::full({4, 4}, 0.25f, false);
+  const double rho_start = alm.rho();
+  for (int i = 0; i < 100; ++i) alm.update({p});
+  EXPECT_NEAR(alm.rho() / rho_start, 1e4, 2e3);
+  for (int i = 0; i < 200; ++i) alm.update({p});
+  EXPECT_LE(alm.rho(), config.rho0 * config.rho_max_ratio * (1 + 1e-9));
+}
+
+TEST(Alm, PermutationErrorMetric) {
+  core::AlmState alm(2, 4, core::AlmConfig{});
+  Tensor perm = Tensor::from_data({4, 4},
+                                  {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1},
+                                  false);
+  Tensor uniform = Tensor::full({4, 4}, 0.25f, false);
+  EXPECT_NEAR(alm.permutation_error({perm, perm}), 0.0, 1e-6);
+  EXPECT_GT(alm.permutation_error({uniform, perm}), 0.1);
+}
+
+TEST(Alm, DrivesRelaxedMatrixTowardPermutation) {
+  // ALM-only optimization: starting from the smoothed identity, the penalty
+  // should binarize P (this is Fig. 5a's mechanism in miniature).
+  Rng rng(3);
+  const int k = 4;
+  Tensor p_raw = core::smoothed_identity_init(k, true);
+  core::AlmConfig config;
+  config.rho0 = 1e-3;
+  core::AlmState alm(1, k, config);
+  alm.set_horizon(300);
+  adept::optim::Adam opt({p_raw}, 0.05);
+  double initial_error = -1;
+  double final_error = -1;
+  for (int step = 0; step < 300; ++step) {
+    Tensor p_tilde = core::reparametrize_permutation(p_raw, 0.05f);
+    Tensor loss = alm.penalty({p_tilde});
+    if (step == 0) initial_error = alm.permutation_error({p_tilde});
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    alm.update({p_tilde});
+    final_error = alm.permutation_error({p_tilde});
+  }
+  EXPECT_GT(initial_error, 0.05);
+  EXPECT_LT(final_error, initial_error * 0.5);
+}
+
+TEST(Alm, BlockCountValidation) {
+  core::AlmState alm(2, 4, core::AlmConfig{});
+  Tensor p = Tensor::full({4, 4}, 0.25f, false);
+  EXPECT_THROW(alm.penalty({p}), std::invalid_argument);       // expects 2 blocks
+  EXPECT_THROW(alm.update({p, p, p}), std::invalid_argument);  // 3 given
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Baseline topology builders must reproduce the paper's device censuses and
+// footprints (Tables 1 and 2) exactly.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "photonics/builders.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+using adept::Rng;
+
+struct PaperRow {
+  int k;
+  long long cr, dc, blk;
+  double footprint_amf_k;  // 1/1000 um^2, from Table 1
+};
+
+// MZI-ONN rows of Table 1.
+const PaperRow kMziRows[] = {
+    {8, 0, 112, 32, 1909.0},
+    {16, 0, 480, 64, 7683.0},
+    {32, 0, 1984, 128, 30829.0},
+};
+
+// FFT-ONN rows of Table 1.
+const PaperRow kFftRows[] = {
+    {8, 16, 24, 6, 363.0},
+    {16, 88, 64, 8, 972.0},
+    {32, 416, 160, 10, 2443.0},
+};
+
+class MziBuilderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MziBuilderTest, MatchesPaperCensus) {
+  const PaperRow& row = kMziRows[static_cast<std::size_t>(GetParam())];
+  const auto topo = ph::clements_mzi(row.k);
+  const auto counts = topo.counts();
+  EXPECT_EQ(counts.cr, row.cr);
+  EXPECT_EQ(counts.dc, row.dc);
+  EXPECT_EQ(counts.blocks, row.blk);
+  EXPECT_EQ(counts.ps, row.k * row.blk);
+  EXPECT_NEAR(topo.footprint_um2(ph::Pdk::amf()) / 1000.0, row.footprint_amf_k, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MziBuilderTest, ::testing::Values(0, 1, 2));
+
+class FftBuilderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftBuilderTest, MatchesPaperCensus) {
+  const PaperRow& row = kFftRows[static_cast<std::size_t>(GetParam())];
+  const auto topo = ph::butterfly(row.k);
+  const auto counts = topo.counts();
+  EXPECT_EQ(counts.cr, row.cr);
+  EXPECT_EQ(counts.dc, row.dc);
+  EXPECT_EQ(counts.blocks, row.blk);
+  EXPECT_NEAR(topo.footprint_um2(ph::Pdk::amf()) / 1000.0, row.footprint_amf_k, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftBuilderTest, ::testing::Values(0, 1, 2));
+
+TEST(Builders, Table2AimFootprints) {
+  // Table 2 (AIM PDK, 16x16): MZI 4480, FFT 1007 k-um^2.
+  const ph::Pdk aim = ph::Pdk::aim();
+  EXPECT_NEAR(ph::clements_mzi(16).footprint_um2(aim) / 1000.0, 4480.0, 1.0);
+  EXPECT_NEAR(ph::butterfly(16).footprint_um2(aim) / 1000.0, 1007.2, 1.0);
+}
+
+TEST(Builders, ButterflyCrossingClosedForm) {
+  EXPECT_EQ(ph::butterfly_crossings_per_unitary(8), 8);
+  EXPECT_EQ(ph::butterfly_crossings_per_unitary(16), 44);
+  EXPECT_EQ(ph::butterfly_crossings_per_unitary(32), 208);
+  EXPECT_EQ(ph::butterfly_crossings_per_unitary(2), 0);
+}
+
+TEST(Builders, ButterflyRejectsNonPowerOfTwo) {
+  EXPECT_THROW(ph::butterfly(6), std::invalid_argument);
+  EXPECT_THROW(ph::butterfly(0), std::invalid_argument);
+}
+
+TEST(Builders, MziRejectsOddK) {
+  EXPECT_THROW(ph::clements_mzi(7), std::invalid_argument);
+}
+
+TEST(Builders, MziStructure) {
+  const auto topo = ph::clements_mzi(8);
+  // Column parities alternate in pairs (two blocks per MZI column).
+  EXPECT_EQ(topo.u_blocks[0].start, 0);
+  EXPECT_EQ(topo.u_blocks[1].start, 0);
+  EXPECT_EQ(topo.u_blocks[2].start, 1);
+  EXPECT_EQ(topo.u_blocks[3].start, 1);
+  for (const auto& b : topo.u_blocks) {
+    EXPECT_TRUE(b.perm.is_identity());
+    for (bool m : b.dc_mask) EXPECT_TRUE(m);
+  }
+}
+
+TEST(Builders, ButterflyStagesAndFinalIdentity) {
+  const auto topo = ph::butterfly(16);
+  EXPECT_EQ(topo.u_blocks.size(), 4u);  // log2(16)
+  EXPECT_TRUE(topo.u_blocks.back().perm.is_identity());
+  EXPECT_FALSE(topo.u_blocks.front().perm.is_identity());
+  // All DC slots populated in every stage.
+  for (const auto& b : topo.u_blocks) {
+    EXPECT_EQ(b.dc_mask.size(), 8u);
+    for (bool m : b.dc_mask) EXPECT_TRUE(m);
+  }
+}
+
+TEST(Builders, RandomTopologyRespectsDensity) {
+  Rng rng(5);
+  const auto dense = ph::random_topology(16, 8, rng, 1.0);
+  for (const auto& b : dense.u_blocks) {
+    for (bool m : b.dc_mask) EXPECT_TRUE(m);
+  }
+  const auto sparse = ph::random_topology(16, 8, rng, 0.0);
+  EXPECT_EQ(sparse.counts().dc, 0);
+}
+
+TEST(Builders, RandomTopologyValidates) {
+  Rng rng(6);
+  const auto topo = ph::random_topology(8, 12, rng, 0.5);
+  EXPECT_NO_THROW(topo.validate());
+  EXPECT_EQ(topo.counts().blocks, 24);
+}
+
+}  // namespace

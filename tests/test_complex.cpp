@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "autograd/complex.h"
+#include "autograd/gradcheck.h"
+#include "common/rng.h"
+#include "photonics/devices.h"
+#include "photonics/linalg.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace ph = adept::photonics;
+using adept::Rng;
+using ag::CxTensor;
+using ag::Tensor;
+
+CxTensor random_cx(std::int64_t r, std::int64_t c, Rng& rng, bool rg = true) {
+  auto mk = [&]() {
+    std::vector<float> d(static_cast<std::size_t>(r * c));
+    for (auto& v : d) v = static_cast<float>(rng.uniform(-1, 1));
+    return ag::make_tensor(std::move(d), {r, c}, rg);
+  };
+  return {mk(), mk()};
+}
+
+ph::CMat to_cmat(const CxTensor& t) {
+  const std::int64_t r = t.dim(0), c = t.dim(1);
+  ph::CMat m(r, c);
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      m.at(i, j) = ph::cplx(t.re.at(i, j), t.im.at(i, j));
+    }
+  }
+  return m;
+}
+
+TEST(Complex, CmatmulMatchesReference) {
+  Rng rng(1);
+  CxTensor a = random_cx(3, 4, rng, false);
+  CxTensor b = random_cx(4, 2, rng, false);
+  CxTensor c = ag::cmatmul(a, b);
+  ph::CMat ref = to_cmat(a) * to_cmat(b);
+  EXPECT_LT(ref.max_abs_diff(to_cmat(c)), 1e-5);
+}
+
+TEST(Complex, CmulMatchesScalarComplex) {
+  Rng rng(2);
+  CxTensor a = random_cx(2, 2, rng, false);
+  CxTensor b = random_cx(2, 2, rng, false);
+  CxTensor c = ag::cmul(a, b);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const std::complex<float> za(a.re.at(i, j), a.im.at(i, j));
+      const std::complex<float> zb(b.re.at(i, j), b.im.at(i, j));
+      const auto zc = za * zb;
+      EXPECT_NEAR(c.re.at(i, j), zc.real(), 1e-5);
+      EXPECT_NEAR(c.im.at(i, j), zc.imag(), 1e-5);
+    }
+  }
+}
+
+TEST(Complex, ExpNegIUnitMagnitude) {
+  Tensor phi = Tensor::from_data({4}, {0.0f, 1.0f, -2.0f, 3.14159265f});
+  CxTensor e = ag::cexp_neg_i(phi);
+  for (int i = 0; i < 4; ++i) {
+    const float mag = e.re.data()[static_cast<std::size_t>(i)] * e.re.data()[static_cast<std::size_t>(i)] +
+                      e.im.data()[static_cast<std::size_t>(i)] * e.im.data()[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(mag, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(e.re.data()[0], 1.0f, 1e-6);
+  EXPECT_NEAR(e.im.data()[0], 0.0f, 1e-6);
+  EXPECT_NEAR(e.im.data()[1], -std::sin(1.0f), 1e-5);  // exp(-i*phi)
+}
+
+TEST(Complex, PhaseColumnMatchesDeviceModel) {
+  Tensor phi = Tensor::from_data({3}, {0.3f, -0.7f, 2.1f});
+  CxTensor r = ag::phase_column(phi);
+  const ph::CMat ref = ph::phase_column_matrix({0.3, -0.7, 2.1});
+  EXPECT_LT(ref.max_abs_diff(to_cmat(r)), 1e-5);
+}
+
+TEST(Complex, CouplerColumnMatchesDeviceModel) {
+  // 2 slots at parity 0 on K=4, t = (0.8, 0.6)
+  Tensor t = Tensor::from_data({2}, {0.8f, 0.6f});
+  CxTensor m = ag::coupler_column(t, 4, 0);
+  const ph::CMat ref =
+      ph::coupler_column_matrix(4, 0, {true, true}, {0.8, 0.6});
+  EXPECT_LT(ref.max_abs_diff(to_cmat(m)), 1e-5);
+}
+
+TEST(Complex, CouplerColumnParityOnePassThrough) {
+  Tensor t = Tensor::from_data({1}, {0.5f});
+  CxTensor m = ag::coupler_column(t, 4, 1);
+  // rows 0 and 3 are pass-through
+  EXPECT_FLOAT_EQ(m.re.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.re.at(3, 3), 1.0f);
+  EXPECT_FLOAT_EQ(m.im.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.re.at(1, 1), 0.5f);
+}
+
+TEST(Complex, CouplerColumnIsUnitary) {
+  Tensor t = Tensor::from_data({3}, {0.7071f, 0.3f, 0.95f});
+  CxTensor m = ag::coupler_column(t, 6, 0);
+  EXPECT_LT(to_cmat(m).unitarity_error(), 1e-5);
+}
+
+TEST(Complex, CouplerColumnGradcheck) {
+  Rng rng(3);
+  std::vector<float> tv = {0.3f, 0.8f};
+  Tensor t = ag::make_tensor(std::move(tv), {2}, true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor m = ag::coupler_column(in[0], 4, 0);
+    return ag::add(ag::sum(ag::square(m.re)), ag::sum(ag::square(m.im)));
+  };
+  const auto result = ag::gradcheck(fn, {t});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Complex, PhaseChainGradcheck) {
+  // Gradient flows through exp(-i phi) into a complex matmul chain.
+  Rng rng(4);
+  std::vector<float> pv(4);
+  for (auto& p : pv) p = static_cast<float>(rng.uniform(-3, 3));
+  Tensor phi = ag::make_tensor(std::move(pv), {4}, true);
+  CxTensor fixed = random_cx(4, 4, rng, false);
+  auto fn = [&fixed](const std::vector<Tensor>& in) {
+    CxTensor r = ag::phase_column(in[0]);
+    CxTensor prod = ag::cmatmul(fixed, r);
+    return ag::add(ag::sum(ag::square(prod.re)), ag::sum(ag::square(prod.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {phi}).ok);
+}
+
+TEST(Complex, AdjointConjugateTranspose) {
+  Rng rng(5);
+  CxTensor a = random_cx(2, 3, rng, false);
+  CxTensor at = ag::adjoint(a);
+  EXPECT_EQ(at.dim(0), 3);
+  EXPECT_FLOAT_EQ(at.re.at(2, 1), a.re.at(1, 2));
+  EXPECT_FLOAT_EQ(at.im.at(2, 1), -a.im.at(1, 2));
+}
+
+TEST(Complex, RowNormalizeUnitRows) {
+  Rng rng(6);
+  CxTensor a = random_cx(4, 4, rng, false);
+  CxTensor n = ag::row_normalize(a);
+  for (int i = 0; i < 4; ++i) {
+    double norm = 0;
+    for (int j = 0; j < 4; ++j) {
+      norm += static_cast<double>(n.re.at(i, j)) * n.re.at(i, j) +
+              static_cast<double>(n.im.at(i, j)) * n.im.at(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(Complex, ColNormalizeUnitCols) {
+  Rng rng(7);
+  CxTensor a = random_cx(4, 4, rng, false);
+  CxTensor n = ag::col_normalize(a);
+  for (int j = 0; j < 4; ++j) {
+    double norm = 0;
+    for (int i = 0; i < 4; ++i) {
+      norm += static_cast<double>(n.re.at(i, j)) * n.re.at(i, j) +
+              static_cast<double>(n.im.at(i, j)) * n.im.at(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(Complex, Cabs2) {
+  CxTensor a = {Tensor::from_data({2}, {3, 0}), Tensor::from_data({2}, {4, 2})};
+  Tensor m = ag::cabs2(a);
+  EXPECT_FLOAT_EQ(m.data()[0], 25);
+  EXPECT_FLOAT_EQ(m.data()[1], 4);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+
+namespace {
+
+namespace data = adept::data;
+using adept::Rng;
+
+TEST(SyntheticDataset, DeterministicForSameSeeds) {
+  const auto spec = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset a(spec, 16, 1);
+  data::SyntheticDataset b(spec, 16, 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_EQ(a.image(i), b.image(i));
+  }
+}
+
+TEST(SyntheticDataset, SplitSeedChangesSamplesNotPrototypes) {
+  const auto spec = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset train(spec, 16, 1);
+  data::SyntheticDataset test(spec, 16, 2);
+  bool any_diff = false;
+  for (int i = 0; i < 16 && !any_diff; ++i) {
+    any_diff = train.image(i) != test.image(i) || train.label(i) != test.label(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticDataset, ShapesMatchSpecs) {
+  const auto mnist = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset dm(mnist, 4, 0);
+  EXPECT_EQ(dm.image_elems(), 1 * 28 * 28);
+  const auto cifar = data::DatasetSpec::cifar10_like();
+  data::SyntheticDataset dc(cifar, 4, 0);
+  EXPECT_EQ(dc.image_elems(), 3 * 32 * 32);
+  EXPECT_EQ(static_cast<int>(dc.image(0).size()), dc.image_elems());
+}
+
+TEST(SyntheticDataset, ImagesAreStandardized) {
+  data::SyntheticDataset d(data::DatasetSpec::fmnist_like(), 8, 3);
+  for (int i = 0; i < 8; ++i) {
+    const auto& img = d.image(i);
+    double s = 0, s2 = 0;
+    for (float v : img) {
+      s += v;
+      s2 += static_cast<double>(v) * v;
+    }
+    const double mean = s / img.size();
+    const double var = s2 / img.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(SyntheticDataset, AllClassesAppear) {
+  data::SyntheticDataset d(data::DatasetSpec::mnist_like(), 400, 4);
+  std::set<int> seen;
+  for (int i = 0; i < d.size(); ++i) {
+    ASSERT_GE(d.label(i), 0);
+    ASSERT_LT(d.label(i), 10);
+    seen.insert(d.label(i));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SyntheticDataset, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // Learnability smell test: intra-class correlation above inter-class.
+  data::SyntheticDataset d(data::DatasetSpec::mnist_like(), 300, 5);
+  auto correlation = [&](int i, int j) {
+    const auto& a = d.image(i);
+    const auto& b = d.image(j);
+    double dot = 0;
+    for (std::size_t p = 0; p < a.size(); ++p) dot += static_cast<double>(a[p]) * b[p];
+    return dot / static_cast<double>(a.size());
+  };
+  double intra = 0, inter = 0;
+  int intra_n = 0, inter_n = 0;
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      if (d.label(i) == d.label(j)) {
+        intra += correlation(i, j);
+        ++intra_n;
+      } else {
+        inter += correlation(i, j);
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_GT(intra / intra_n, inter / inter_n + 0.05);
+}
+
+TEST(SyntheticDataset, DifficultyLadderOrdering) {
+  // The stand-in datasets order their corruption knobs like the real ones'
+  // difficulty: mnist < fmnist < svhn <= cifar.
+  const auto m = data::DatasetSpec::mnist_like();
+  const auto f = data::DatasetSpec::fmnist_like();
+  const auto s = data::DatasetSpec::svhn_like();
+  const auto c = data::DatasetSpec::cifar10_like();
+  EXPECT_LT(m.pixel_noise, f.pixel_noise);
+  EXPECT_LT(f.pixel_noise, s.pixel_noise);
+  EXPECT_LE(s.pixel_noise, c.pixel_noise);
+  EXPECT_LT(m.class_mix, f.class_mix);
+  EXPECT_LT(f.class_mix, s.class_mix);
+  EXPECT_LE(s.class_mix, c.class_mix);
+}
+
+TEST(DataLoader, BatchShapes) {
+  data::SyntheticDataset d(data::DatasetSpec::mnist_like(), 10, 6);
+  data::DataLoader loader(d, 4);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+  const auto b0 = loader.batch(0);
+  EXPECT_EQ(b0.images.dim(0), 4);
+  EXPECT_EQ(b0.images.dim(1), 1);
+  EXPECT_EQ(b0.images.dim(2), 28);
+  EXPECT_EQ(b0.labels.size(), 4u);
+  // Last batch is the remainder.
+  const auto b2 = loader.batch(2);
+  EXPECT_EQ(b2.images.dim(0), 2);
+}
+
+TEST(DataLoader, EpochCoversAllSamplesOnceAfterShuffle) {
+  data::SyntheticDataset d(data::DatasetSpec::mnist_like(), 20, 7);
+  data::DataLoader loader(d, 6);
+  Rng rng(1);
+  loader.shuffle(rng);
+  std::multiset<int> labels_seen;
+  for (int b = 0; b < loader.batches_per_epoch(); ++b) {
+    for (int label : loader.batch(b).labels) labels_seen.insert(label);
+  }
+  EXPECT_EQ(labels_seen.size(), 20u);
+  std::multiset<int> expected;
+  for (int i = 0; i < 20; ++i) expected.insert(d.label(i));
+  EXPECT_EQ(labels_seen, expected);
+}
+
+TEST(DataLoader, GatherSpecificIndices) {
+  data::SyntheticDataset d(data::DatasetSpec::mnist_like(), 10, 8);
+  data::DataLoader loader(d, 4);
+  const auto batch = loader.gather({3, 7});
+  EXPECT_EQ(batch.images.dim(0), 2);
+  EXPECT_EQ(batch.labels[0], d.label(3));
+  EXPECT_EQ(batch.labels[1], d.label(7));
+}
+
+}  // namespace

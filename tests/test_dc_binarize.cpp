@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "core/dc_binarize.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+using ag::Tensor;
+
+TEST(DcBinarize, PhysicalValues) {
+  EXPECT_NEAR(core::dc_present_t(), std::sqrt(2.0) / 2.0, 1e-6);
+  EXPECT_FLOAT_EQ(core::dc_absent_t(), 1.0f);
+}
+
+TEST(DcBinarize, QuantizeMapsSigns) {
+  Tensor t = Tensor::from_data({4}, {-0.5f, 0.5f, -0.01f, 0.0f}, true);
+  Tensor q = core::dc_quantize(t);
+  EXPECT_NEAR(q.data()[0], std::sqrt(2.0) / 2.0, 1e-6);  // t<0 -> coupler
+  EXPECT_FLOAT_EQ(q.data()[1], 1.0f);                    // t>=0 -> bar
+  EXPECT_NEAR(q.data()[2], std::sqrt(2.0) / 2.0, 1e-6);
+  EXPECT_FLOAT_EQ(q.data()[3], 1.0f);
+}
+
+TEST(DcBinarize, SteGradientScaledAndClipped) {
+  Tensor t = Tensor::from_data({2}, {-0.5f, 0.5f}, true);
+  Tensor q = core::dc_quantize(t);
+  // dL/dq = 1 -> dL/dt = clamp(1 * (2-sqrt2)/4) = (2-sqrt2)/4
+  ag::sum(q).backward();
+  const float scale = static_cast<float>((2.0 - std::sqrt(2.0)) / 4.0);
+  EXPECT_NEAR(t.grad()[0], scale, 1e-6);
+  EXPECT_NEAR(t.grad()[1], scale, 1e-6);
+}
+
+TEST(DcBinarize, SteGradientClampAtOne) {
+  Tensor t = Tensor::from_data({1}, {-0.5f}, true);
+  Tensor q = core::dc_quantize(t);
+  // huge upstream gradient must clamp to 1
+  Tensor loss = ag::mul_scalar(ag::sum(q), 1e6f);
+  loss.backward();
+  EXPECT_NEAR(t.grad()[0], 1.0f, 1e-5);
+}
+
+TEST(DcBinarize, CountExprMatchesHardCount) {
+  Tensor t = Tensor::from_data({5}, {-0.4f, 0.2f, -0.1f, 0.9f, -0.7f}, true);
+  Tensor q = core::dc_quantize(t);
+  Tensor count = core::dc_count_expr(q);
+  EXPECT_NEAR(count.item(), 3.0f, 1e-4);
+  EXPECT_EQ(core::dc_count_hard(t), 3);
+}
+
+TEST(DcBinarize, CountExprZeroAndFull) {
+  Tensor none = Tensor::from_data({3}, {0.1f, 0.2f, 0.3f}, false);
+  EXPECT_NEAR(core::dc_count_expr(core::dc_quantize(none)).item(), 0.0f, 1e-4);
+  Tensor all = Tensor::from_data({3}, {-0.1f, -0.2f, -0.3f}, false);
+  EXPECT_NEAR(core::dc_count_expr(core::dc_quantize(all)).item(), 3.0f, 1e-4);
+}
+
+TEST(DcBinarize, CountGradientFlowsThroughSte) {
+  Tensor t = Tensor::from_data({2}, {-0.4f, 0.4f}, true);
+  Tensor count = core::dc_count_expr(core::dc_quantize(t));
+  count.backward();
+  // d(count)/dq = 2/(sqrt2-2) < 0; STE scales by (2-sqrt2)/4 -> -0.5
+  EXPECT_NEAR(t.grad()[0], -0.5f, 1e-5);
+  EXPECT_NEAR(t.grad()[1], -0.5f, 1e-5);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/devices.h"
+#include "photonics/pdk.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+
+TEST(Devices, PhaseShifterUnitModulus) {
+  for (double phi : {0.0, 0.5, -1.7, 3.14159}) {
+    EXPECT_NEAR(std::abs(ph::phase_shifter(phi)), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(ph::phase_shifter(0.0).real(), 1.0, 1e-12);
+  // exp(-j*pi/2) = -j
+  EXPECT_NEAR(ph::phase_shifter(3.14159265358979 / 2).imag(), -1.0, 1e-9);
+}
+
+TEST(Devices, CouplerUnitary) {
+  for (double t : {0.0, 0.3, ph::balanced_coupler_t(), 1.0}) {
+    EXPECT_LT(ph::coupler(t).unitarity_error(), 1e-12) << "t=" << t;
+  }
+}
+
+TEST(Devices, CouplerBarAndCrossStates) {
+  // t=1: identity (bar); t=0: full cross with j phase.
+  const ph::CMat bar = ph::coupler(1.0);
+  EXPECT_LT(bar.max_abs_diff(ph::CMat::identity(2)), 1e-12);
+  const ph::CMat cross = ph::coupler(0.0);
+  EXPECT_NEAR(std::abs(cross.at(0, 1) - ph::cplx(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(cross.at(0, 0)), 0.0, 1e-12);
+}
+
+TEST(Devices, CouplerRejectsOutOfRange) {
+  EXPECT_THROW(ph::coupler(-0.1), std::invalid_argument);
+  EXPECT_THROW(ph::coupler(1.1), std::invalid_argument);
+}
+
+TEST(Devices, BalancedCouplerSplitsEvenly) {
+  const ph::CMat dc = ph::coupler(ph::balanced_coupler_t());
+  EXPECT_NEAR(std::norm(dc.at(0, 0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(dc.at(0, 1)), 0.5, 1e-12);
+}
+
+TEST(Devices, CrossingSwaps) {
+  const ph::CMat cr = ph::crossing();
+  const auto y = cr * std::vector<ph::cplx>{ph::cplx(1, 0), ph::cplx(0, 2)};
+  EXPECT_NEAR(std::abs(y[0] - ph::cplx(0, 2)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - ph::cplx(1, 0)), 0.0, 1e-12);
+  EXPECT_LT(cr.unitarity_error(), 1e-12);
+}
+
+TEST(Devices, MziUnitaryForAllPhases) {
+  for (double theta : {0.0, 0.7, 2.1}) {
+    for (double phi : {0.0, -0.9, 1.5}) {
+      EXPECT_LT(ph::mzi(theta, phi).unitarity_error(), 1e-12);
+    }
+  }
+}
+
+TEST(Devices, MziReachesCrossAndBar) {
+  // theta = 0: the two 50:50 couplers compose to a full cross (up to phase).
+  const ph::CMat cross = ph::mzi(0.0, 0.0);
+  EXPECT_NEAR(std::abs(cross.at(0, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(cross.at(0, 1)), 1.0, 1e-9);
+  // theta = pi: bar state (identity magnitudes).
+  const ph::CMat bar = ph::mzi(3.14159265358979, 0.0);
+  EXPECT_NEAR(std::abs(bar.at(0, 0)), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(bar.at(0, 1)), 0.0, 1e-6);
+}
+
+TEST(Devices, PhaseColumnMatrixDiagonal) {
+  const ph::CMat m = ph::phase_column_matrix({0.1, 0.2, 0.3});
+  EXPECT_LT(m.unitarity_error(), 1e-12);
+  EXPECT_NEAR(std::abs(m.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m.at(1, 1) - ph::phase_shifter(0.2)), 0.0, 1e-12);
+}
+
+TEST(Devices, CouplerColumnMaskAndParity) {
+  // K=6, parity 1: slots cover (1,2), (3,4); waveguides 0 and 5 pass through.
+  const ph::CMat m = ph::coupler_column_matrix(6, 1, {true, false},
+                                               {ph::balanced_coupler_t(), 0.5});
+  EXPECT_NEAR(std::abs(m.at(0, 0) - ph::cplx(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m.at(5, 5) - ph::cplx(1, 0)), 0.0, 1e-12);
+  // slot 0 placed
+  EXPECT_NEAR(std::norm(m.at(1, 2)), 0.5, 1e-12);
+  // slot 1 masked out -> identity on (3,4)
+  EXPECT_NEAR(std::abs(m.at(3, 3) - ph::cplx(1, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m.at(3, 4)), 0.0, 1e-12);
+  EXPECT_LT(m.unitarity_error(), 1e-12);
+}
+
+TEST(Devices, CouplerColumnValidation) {
+  EXPECT_THROW(ph::coupler_column_matrix(4, 2, {true}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(ph::coupler_column_matrix(4, 0, {true, true, true}, {0.5, 0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(ph::coupler_column_matrix(4, 0, {true}, {0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Devices, BalancedColumnFullCoverage) {
+  const ph::CMat m = ph::balanced_coupler_column(8, 0);
+  EXPECT_LT(m.unitarity_error(), 1e-12);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(std::norm(m.at(2 * s, 2 * s + 1)), 0.5, 1e-12);
+  }
+}
+
+TEST(Pdk, PaperDeviceAreas) {
+  const ph::Pdk amf = ph::Pdk::amf();
+  EXPECT_EQ(amf.name, "AMF");
+  EXPECT_DOUBLE_EQ(amf.ps_area_um2, 6800.0);
+  EXPECT_DOUBLE_EQ(amf.dc_area_um2, 1500.0);
+  EXPECT_DOUBLE_EQ(amf.cr_area_um2, 64.0);
+  const ph::Pdk aim = ph::Pdk::aim();
+  EXPECT_EQ(aim.name, "AIM");
+  EXPECT_DOUBLE_EQ(aim.ps_area_um2, 2500.0);
+  EXPECT_DOUBLE_EQ(aim.dc_area_um2, 4000.0);
+  EXPECT_DOUBLE_EQ(aim.cr_area_um2, 4900.0);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/dc_binarize.h"
+#include "core/footprint.h"
+#include "core/reparam.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+namespace ph = adept::photonics;
+using ag::Tensor;
+
+core::FootprintConfig amf_config(double f_min, double f_max) {
+  core::FootprintConfig config;
+  config.pdk = ph::Pdk::amf();
+  config.f_min = f_min;
+  config.f_max = f_max;
+  return config;
+}
+
+TEST(Footprint, AreaUnitConversion) {
+  const ph::Pdk amf = ph::Pdk::amf();
+  EXPECT_DOUBLE_EQ(core::ps_area_k(amf), 6.8);
+  EXPECT_DOUBLE_EQ(core::dc_area_k(amf), 1.5);
+  EXPECT_DOUBLE_EQ(core::cr_area_k(amf), 0.064);
+}
+
+TEST(Footprint, MarginHats) {
+  const auto config = amf_config(100, 200);
+  EXPECT_DOUBLE_EQ(config.f_max_hat(), 190.0);
+  EXPECT_DOUBLE_EQ(config.f_min_hat(), 105.0);
+}
+
+TEST(Footprint, BlockProxyValueIdentityPerm) {
+  // K=8, all couplers on, P~ = I: proxy = K*F_PS + 4*F_DC + 0.
+  const auto config = amf_config(0, 1000);
+  Tensor t_latent = Tensor::from_data({4}, {-1, -1, -1, -1}, false);
+  Tensor tq = core::dc_quantize(t_latent);
+  Tensor p = Tensor::eye(8);
+  Tensor proxy = core::block_footprint_proxy(8, tq, p, config);
+  EXPECT_NEAR(proxy.item(), 8 * 6.8 + 4 * 1.5, 1e-3);
+}
+
+TEST(Footprint, BlockProxyGrowsWithPermDeviation) {
+  const auto config = amf_config(0, 1000);
+  Tensor t_latent = Tensor::from_data({4}, {1, 1, 1, 1}, false);
+  Tensor tq = core::dc_quantize(t_latent);
+  Tensor eye = Tensor::eye(8);
+  Tensor swapped = Tensor::eye(8);
+  // swap rows 0/1 -> ||P - I||^2 = 4
+  swapped.set_at(0, 0, 0.0f);
+  swapped.set_at(1, 1, 0.0f);
+  swapped.set_at(0, 1, 1.0f);
+  swapped.set_at(1, 0, 1.0f);
+  const float base = core::block_footprint_proxy(8, tq, eye, config).item();
+  const float moved = core::block_footprint_proxy(8, tq, swapped, config).item();
+  EXPECT_NEAR(moved - base, config.beta_cr * 4.0 * 0.064, 1e-2);
+}
+
+TEST(Footprint, PenaltyBranchAboveMax) {
+  const auto config = amf_config(100, 200);
+  Tensor proxy = Tensor::scalar(250.0f, true);
+  // true expectation above 0.95*200=190 -> positive penalty beta*proxy/190
+  Tensor penalty = core::footprint_penalty(proxy, 210.0, config);
+  EXPECT_NEAR(penalty.item(), 10.0 * 250.0 / 190.0, 1e-3);
+  penalty.backward();
+  EXPECT_GT(proxy.grad()[0], 0.0f);  // pushes footprint down
+}
+
+TEST(Footprint, PenaltyBranchBelowMin) {
+  const auto config = amf_config(100, 200);
+  Tensor proxy = Tensor::scalar(80.0f, true);
+  Tensor penalty = core::footprint_penalty(proxy, 90.0, config);
+  EXPECT_NEAR(penalty.item(), -10.0 * 80.0 / 105.0, 1e-3);
+  penalty.backward();
+  EXPECT_LT(proxy.grad()[0], 0.0f);  // pushes footprint up
+}
+
+TEST(Footprint, PenaltyZeroInsideBand) {
+  const auto config = amf_config(100, 200);
+  Tensor proxy = Tensor::scalar(150.0f, true);
+  Tensor penalty = core::footprint_penalty(proxy, 150.0, config);
+  EXPECT_FLOAT_EQ(penalty.item(), 0.0f);
+}
+
+TEST(Footprint, AnalyticalBoundsEq16) {
+  // Hand-computed for K=8, AMF, [240, 300] (ADEPT-a1 in Table 1):
+  //   F_b,min = 8*6.8 + 1.5 = 55.9
+  //   F_b,max = 55.9 + 8*1.5/2 + 8*7*0.064/2 = 55.9 + 6 + 1.792 = 63.692
+  //   B_max = ceil(300/55.9) = 6 ; B_min = floor(240/63.692) = 3
+  const auto config = amf_config(240, 300);
+  const auto bounds = core::analytical_block_bounds(8, config);
+  EXPECT_EQ(bounds.b_max, 6);
+  EXPECT_EQ(bounds.b_min, 3);
+}
+
+TEST(Footprint, BoundsScaleWithBudget) {
+  const auto small = core::analytical_block_bounds(8, amf_config(240, 300));
+  const auto large = core::analytical_block_bounds(8, amf_config(624, 780));
+  EXPECT_GT(large.b_max, small.b_max);
+  EXPECT_GE(large.b_min, small.b_min);
+}
+
+TEST(Footprint, AimCrossingsDominatePenaltyProxy) {
+  // Under AIM, a permutation far from identity must cost much more than
+  // under AMF (4900 vs 64 um^2 crossings).
+  core::FootprintConfig amf = amf_config(0, 1000);
+  core::FootprintConfig aim = amf;
+  aim.pdk = ph::Pdk::aim();
+  Tensor tq = core::dc_quantize(Tensor::from_data({4}, {1, 1, 1, 1}, false));
+  Tensor far = Tensor::full({8, 8}, 0.125f, false);
+  const float amf_cost = core::block_footprint_proxy(8, tq, far, amf).item();
+  const float aim_cost = core::block_footprint_proxy(8, tq, far, aim).item();
+  EXPECT_GT(aim_cost, amf_cost);
+}
+
+}  // namespace

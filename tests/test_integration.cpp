@@ -1,0 +1,136 @@
+// End-to-end integration: the full paper pipeline at miniature scale.
+//   1. ADEPT search on a CNN proxy task (synthetic-MNIST stand-in)
+//   2. freeze the searched topology
+//   3. re-train a target model with the frozen topology
+//   4. check footprint constraints and basic learnability
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "photonics/builders.h"
+
+namespace {
+
+namespace core = adept::core;
+namespace data = adept::data;
+namespace nn = adept::nn;
+namespace ph = adept::photonics;
+using adept::Rng;
+
+data::DatasetSpec tiny_spec() {
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 10;
+  spec.width = 10;
+  return spec;
+}
+
+TEST(Integration, SearchOnCnnProxyThenRetrain) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 96, 1);
+  data::SyntheticDataset val(spec, 48, 2);
+
+  core::SearchConfig config;
+  config.mesh.k = 4;
+  config.mesh.super_blocks_per_unitary = 2;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.pdk = ph::Pdk::amf();
+  config.footprint.f_min = 40;
+  config.footprint.f_max = 300;
+  config.epochs = 3;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 2;
+  config.steps_per_epoch = 6;
+  config.alm.rho0 = 1e-4;
+  config.seed = 31;
+
+  nn::OnnProxyTask task(train, val, /*batch=*/16, /*width=*/2, /*seed=*/4);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+
+  // Searched topology is structurally sound.
+  ASSERT_NO_THROW(result.topology.validate());
+  EXPECT_EQ(result.topology.k, 4);
+  EXPECT_GE(result.topology.counts().blocks, 2);
+
+  // Retrain a fresh classifier with the frozen searched topology. At this
+  // miniature scale we assert learnability (train-set fit beats chance and
+  // the loss drops), not generalization.
+  auto topo = std::make_shared<ph::PtcTopology>(result.topology);
+  Rng rng(7);
+  auto model = nn::make_proxy_cnn(1, 10, 10, nn::PtcBinding::fixed(topo), rng, 3);
+  nn::TrainConfig tconfig;
+  tconfig.epochs = 10;
+  tconfig.batch_size = 16;
+  tconfig.lr = 3e-3;
+  const auto stats = nn::train_classifier(model, train, train, tconfig);
+  EXPECT_GT(stats.final_accuracy, 0.15);  // 10-class chance is 0.1
+  EXPECT_LT(stats.train_loss_per_epoch.back(), stats.train_loss_per_epoch.front());
+}
+
+TEST(Integration, SearchedFootprintWithinOrNearBand) {
+  // At miniature scale SPL + sampling still honors the budget when feasible.
+  core::SearchConfig config;
+  config.mesh.k = 8;
+  config.mesh.super_blocks_per_unitary = 4;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.pdk = ph::Pdk::amf();
+  config.footprint.f_min = 120;
+  config.footprint.f_max = 480;
+  config.epochs = 4;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 2;
+  config.steps_per_epoch = 8;
+  config.alm.rho0 = 1e-4;
+  config.seed = 37;
+  core::MatrixFitTask task(1, 3);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  const double f = result.topology.footprint_um2(config.footprint.pdk) / 1000.0;
+  // Band [120, 480] is reachable with 2..8 blocks of K=8 under AMF.
+  EXPECT_GE(f, 60.0);
+  EXPECT_LE(f, 600.0);
+}
+
+TEST(Integration, BaselinesTrainThroughSamePipeline) {
+  // MZI and FFT baselines run through the identical ONN layer machinery.
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 64, 3);
+  data::SyntheticDataset test(spec, 32, 4);
+  for (auto make : {+[](int k) { return ph::clements_mzi(k); },
+                    +[](int k) { return ph::butterfly(k); }}) {
+    auto topo = std::make_shared<ph::PtcTopology>(make(4));
+    Rng rng(9);
+    auto model = nn::make_proxy_cnn(1, 10, 10, nn::PtcBinding::fixed(topo), rng, 2);
+    nn::TrainConfig config;
+    config.epochs = 1;
+    config.batch_size = 16;
+    const auto stats = nn::train_classifier(model, train, test, config);
+    EXPECT_TRUE(std::isfinite(stats.train_loss_per_epoch.front()));
+  }
+}
+
+TEST(Integration, SerializedSearchedTopologyRoundTrips) {
+  core::SearchConfig config;
+  config.mesh.k = 4;
+  config.mesh.super_blocks_per_unitary = 2;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.pdk = ph::Pdk::amf();
+  config.footprint.f_min = 40;
+  config.footprint.f_max = 300;
+  config.epochs = 2;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 1;
+  config.steps_per_epoch = 5;
+  config.seed = 41;
+  core::MatrixFitTask task(1, 5);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  const auto back = ph::PtcTopology::deserialize(result.topology.serialize());
+  EXPECT_EQ(back.counts().cr, result.topology.counts().cr);
+  EXPECT_EQ(back.counts().dc, result.topology.counts().dc);
+}
+
+}  // namespace

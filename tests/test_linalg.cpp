@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "photonics/linalg.h"
+#include "photonics/permutation.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+using adept::Rng;
+
+ph::RMat random_rmat(std::int64_t n, Rng& rng) {
+  ph::RMat m(n, n);
+  for (auto& v : m.data()) v = rng.uniform(-1, 1);
+  return m;
+}
+
+TEST(CMat, IdentityMultiply) {
+  ph::CMat i = ph::CMat::identity(3);
+  ph::CMat m(3, 3);
+  m.at(0, 1) = ph::cplx(1, 2);
+  m.at(2, 0) = ph::cplx(-1, 0.5);
+  EXPECT_LT((i * m).max_abs_diff(m), 1e-12);
+  EXPECT_LT((m * i).max_abs_diff(m), 1e-12);
+}
+
+TEST(CMat, AdjointProperties) {
+  ph::CMat m(2, 2);
+  m.at(0, 1) = ph::cplx(1, 2);
+  ph::CMat a = m.adjoint();
+  EXPECT_EQ(a.at(1, 0), std::conj(ph::cplx(1, 2)));
+}
+
+TEST(CMat, MatVec) {
+  ph::CMat m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = ph::cplx(0, 1);
+  m.at(1, 0) = 2;
+  const auto y = m * std::vector<ph::cplx>{ph::cplx(1, 0), ph::cplx(0, 1)};
+  // y0 = 1*(1) + i*(i) = 0 ;  y1 = 2*(1) + 0 = 2
+  EXPECT_NEAR(std::abs(y[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - ph::cplx(2, 0)), 0.0, 1e-12);
+}
+
+TEST(CMat, UnitarityError) {
+  ph::CMat u(2, 2);
+  const double s = std::sqrt(2.0) / 2.0;
+  u.at(0, 0) = s;
+  u.at(0, 1) = ph::cplx(0, s);
+  u.at(1, 0) = ph::cplx(0, s);
+  u.at(1, 1) = s;
+  EXPECT_LT(u.unitarity_error(), 1e-12);
+  u.at(0, 0) = 2.0;
+  EXPECT_GT(u.unitarity_error(), 1.0);
+}
+
+class JacobiSvdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiSvdTest, ReconstructsMatrix) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  ph::RMat a = random_rmat(n, rng);
+  const ph::SvdResult svd = ph::jacobi_svd(a);
+  // U diag(s) V^T == A
+  ph::RMat us(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      us.at(i, j) = svd.u.at(i, j) * svd.s[static_cast<std::size_t>(j)];
+    }
+  }
+  const ph::RMat recon = us * svd.v.transposed();
+  EXPECT_LT(recon.max_abs_diff(a), 1e-8);
+}
+
+TEST_P(JacobiSvdTest, FactorsAreOrthogonal) {
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  ph::RMat a = random_rmat(n, rng);
+  const ph::SvdResult svd = ph::jacobi_svd(a);
+  const ph::RMat uu = svd.u.transposed() * svd.u;
+  const ph::RMat vv = svd.v.transposed() * svd.v;
+  EXPECT_LT(uu.max_abs_diff(ph::RMat::identity(n)), 1e-8);
+  EXPECT_LT(vv.max_abs_diff(ph::RMat::identity(n)), 1e-8);
+}
+
+TEST_P(JacobiSvdTest, SingularValuesNonNegative) {
+  const int n = GetParam();
+  Rng rng(3000 + n);
+  const ph::SvdResult svd = ph::jacobi_svd(random_rmat(n, rng));
+  for (double s : svd.s) EXPECT_GE(s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSvdTest, ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(Procrustes, OutputIsOrthogonal) {
+  Rng rng(7);
+  for (int n : {3, 8, 16}) {
+    ph::RMat q = ph::procrustes_orthogonalize(random_rmat(n, rng));
+    const ph::RMat qq = q.transposed() * q;
+    EXPECT_LT(qq.max_abs_diff(ph::RMat::identity(n)), 1e-8);
+  }
+}
+
+TEST(Procrustes, RecoversPermutationFromNoisyCopy) {
+  Rng rng(8);
+  const auto perm = ph::Permutation::random(8, rng);
+  ph::RMat noisy = perm.to_matrix();
+  for (auto& v : noisy.data()) v += rng.normal(0.0, 0.05);
+  const ph::RMat q = ph::procrustes_orthogonalize(noisy);
+  // q should be close to the permutation matrix
+  EXPECT_LT(q.max_abs_diff(perm.to_matrix()), 0.3);
+}
+
+TEST(Procrustes, IdentityFixedPoint) {
+  const ph::RMat i = ph::RMat::identity(5);
+  EXPECT_LT(ph::procrustes_orthogonalize(i).max_abs_diff(i), 1e-9);
+}
+
+TEST(JacobiSvd, RejectsNonSquare) {
+  EXPECT_THROW(ph::jacobi_svd(ph::RMat(2, 3)), std::invalid_argument);
+}
+
+TEST(JacobiSvd, HandlesRankDeficiency) {
+  ph::RMat a(3, 3);  // rank 1
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.at(i, j) = (i + 1) * (j + 1);
+  }
+  const ph::SvdResult svd = ph::jacobi_svd(a);
+  int nonzero = 0;
+  for (double s : svd.s) nonzero += s > 1e-9 ? 1 : 0;
+  EXPECT_EQ(nonzero, 1);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/models.h"
+#include "photonics/builders.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace nn = adept::nn;
+namespace ph = adept::photonics;
+using adept::Rng;
+using ag::Tensor;
+
+Tensor random_images(int n, int c, int hw, Rng& rng) {
+  std::vector<float> data(static_cast<std::size_t>(n * c * hw * hw));
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+  return ag::make_tensor(std::move(data), {n, c, hw, hw}, false);
+}
+
+TEST(Models, ProxyCnnOutputShape) {
+  Rng rng(1);
+  auto model = nn::make_proxy_cnn(1, 28, 10, nn::PtcBinding::dense(), rng, 8);
+  Tensor y = model.net->forward(random_images(2, 1, 28, rng));
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+  EXPECT_EQ(model.onn_layers.size(), 3u);  // 2 conv + 1 fc
+  EXPECT_FALSE(model.parameters().empty());
+}
+
+TEST(Models, ProxyCnnWithPtcBinding) {
+  Rng rng(2);
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  Tensor y = model.net->forward(random_images(2, 1, 14, rng));
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(Models, LeNet5ShapesFor28And32) {
+  Rng rng(3);
+  auto m28 = nn::make_lenet5(1, 28, 10, nn::PtcBinding::dense(), rng);
+  EXPECT_EQ(m28.net->forward(random_images(2, 1, 28, rng)).dim(1), 10);
+  auto m32 = nn::make_lenet5(3, 32, 10, nn::PtcBinding::dense(), rng);
+  EXPECT_EQ(m32.net->forward(random_images(2, 3, 32, rng)).dim(1), 10);
+  EXPECT_EQ(m32.onn_layers.size(), 5u);  // 2 conv + 3 fc
+}
+
+TEST(Models, LeNet5WidthScale) {
+  Rng rng(4);
+  auto full = nn::make_lenet5(1, 28, 10, nn::PtcBinding::dense(), rng, 1.0);
+  auto slim = nn::make_lenet5(1, 28, 10, nn::PtcBinding::dense(), rng, 0.5);
+  auto count = [](nn::OnnModel& m) {
+    std::size_t n = 0;
+    for (auto& p : m.parameters()) n += p.data().size();
+    return n;
+  };
+  EXPECT_GT(count(full), count(slim));
+}
+
+TEST(Models, Vgg8Shapes) {
+  Rng rng(5);
+  auto model = nn::make_vgg8(3, 32, 10, nn::PtcBinding::dense(), rng, 0.125);
+  Tensor y = model.net->forward(random_images(2, 3, 32, rng));
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+  EXPECT_EQ(model.onn_layers.size(), 8u);  // 6 conv + 2 fc = "VGG-8"
+}
+
+TEST(Models, PhaseNoisePropagatesToAllLayers) {
+  Rng rng(6);
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  Tensor x = random_images(1, 1, 14, rng);
+  ag::NoGradGuard guard;
+  model.set_training(false);
+  Tensor nominal = model.net->forward(x);
+  model.set_phase_noise(0.08, 42);
+  Tensor noisy = model.net->forward(x);
+  double diff = 0;
+  for (std::size_t i = 0; i < nominal.data().size(); ++i) {
+    diff += std::fabs(nominal.data()[i] - noisy.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Models, TrainingFlagReachesBatchNorm) {
+  Rng rng(7);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::dense(), rng, 4);
+  model.set_training(false);
+  for (const auto& m : model.net->modules()) EXPECT_FALSE(m->training());
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "photonics/builders.h"
+#include "photonics/noise.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+using adept::Rng;
+
+ph::MeshPhases zero_phases(const std::vector<ph::BlockSpec>& blocks, int k) {
+  ph::MeshPhases phases;
+  phases.per_block.assign(blocks.size(), std::vector<double>(static_cast<std::size_t>(k), 0.0));
+  return phases;
+}
+
+TEST(Noise, ZeroSigmaIsIdentity) {
+  Rng rng(1);
+  const auto topo = ph::butterfly(8);
+  const auto phases = zero_phases(topo.u_blocks, 8);
+  ph::NoiseModel noise{0.0};
+  const auto perturbed = noise.perturb(phases, rng);
+  for (std::size_t b = 0; b < phases.per_block.size(); ++b) {
+    EXPECT_EQ(perturbed.per_block[b], phases.per_block[b]);
+  }
+}
+
+TEST(Noise, PerturbationHasRequestedScale) {
+  Rng rng(2);
+  const auto topo = ph::clements_mzi(16);
+  const auto phases = zero_phases(topo.u_blocks, 16);
+  ph::NoiseModel noise{0.05};
+  const auto perturbed = noise.perturb(phases, rng);
+  double s = 0, s2 = 0;
+  int n = 0;
+  for (const auto& block : perturbed.per_block) {
+    for (double v : block) {
+      s += v;
+      s2 += v * v;
+      ++n;
+    }
+  }
+  const double mean = s / n;
+  const double std_dev = std::sqrt(s2 / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(std_dev, 0.05, 0.01);
+}
+
+TEST(Noise, MatrixErrorZeroWithoutNoise) {
+  Rng rng(3);
+  const auto topo = ph::butterfly(8);
+  const auto u = zero_phases(topo.u_blocks, 8);
+  const auto v = zero_phases(topo.v_blocks, 8);
+  const double err = ph::mean_matrix_error_under_noise(topo, u, v,
+                                                       std::vector<double>(8, 1.0),
+                                                       0.0, 4, rng);
+  EXPECT_NEAR(err, 0.0, 1e-12);
+}
+
+TEST(Noise, MatrixErrorGrowsWithSigma) {
+  Rng rng(4);
+  const auto topo = ph::butterfly(8);
+  const auto u = zero_phases(topo.u_blocks, 8);
+  const auto v = zero_phases(topo.v_blocks, 8);
+  const std::vector<double> sigma(8, 1.0);
+  const double e_small = ph::mean_matrix_error_under_noise(topo, u, v, sigma, 0.02, 16, rng);
+  const double e_large = ph::mean_matrix_error_under_noise(topo, u, v, sigma, 0.10, 16, rng);
+  EXPECT_GT(e_small, 0.0);
+  EXPECT_GT(e_large, e_small);
+}
+
+TEST(Noise, DeeperMeshAccumulatesMoreDrift) {
+  // Fig. 4's mechanism: the MZI mesh (depth 4K blocks) degrades faster than
+  // the logarithmic-depth butterfly under identical per-shifter drift.
+  Rng rng(5);
+  const int k = 8;
+  const auto deep = ph::clements_mzi(k);
+  const auto shallow = ph::butterfly(k);
+  const std::vector<double> sigma(static_cast<std::size_t>(k), 1.0);
+  const double e_deep = ph::mean_matrix_error_under_noise(
+      deep, zero_phases(deep.u_blocks, k), zero_phases(deep.v_blocks, k), sigma, 0.05,
+      24, rng);
+  const double e_shallow = ph::mean_matrix_error_under_noise(
+      shallow, zero_phases(shallow.u_blocks, k), zero_phases(shallow.v_blocks, k),
+      sigma, 0.05, 24, rng);
+  EXPECT_GT(e_deep, e_shallow);
+}
+
+}  // namespace

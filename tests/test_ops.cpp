@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace {
+
+namespace ag = adept::ag;
+using adept::Rng;
+using ag::Tensor;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, double lo = -1.0,
+                     double hi = 1.0, bool rg = true) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  std::vector<float> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<float>(rng.uniform(lo, hi));
+  return ag::make_tensor(std::move(data), std::move(shape), rg);
+}
+
+// ---- forward value checks ------------------------------------------------
+
+TEST(Ops, AddSameShape) {
+  Tensor a = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_data({2, 2}, {10, 20, 30, 40});
+  Tensor c = ag::add(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 44);
+}
+
+TEST(Ops, BroadcastRowVector) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Tensor::from_data({1, 3}, {10, 20, 30});
+  Tensor c = ag::add(a, r);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36);
+  // reversed operand order
+  Tensor d = ag::add(r, a);
+  EXPECT_FLOAT_EQ(d.at(1, 2), 36);
+}
+
+TEST(Ops, BroadcastColVector) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col = Tensor::from_data({2, 1}, {100, 200});
+  Tensor c = ag::add(a, col);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 103);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 204);
+}
+
+TEST(Ops, BroadcastScalar) {
+  Tensor a = Tensor::from_data({3}, {1, 2, 3});
+  Tensor s = Tensor::scalar(5.0f);
+  EXPECT_FLOAT_EQ(ag::mul(a, s).data()[2], 15.0f);
+  EXPECT_FLOAT_EQ(ag::mul(s, a).data()[2], 15.0f);
+}
+
+TEST(Ops, UnsupportedBroadcastThrows) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({3, 2});
+  EXPECT_THROW(ag::add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulMatchesManual) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_data({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ag::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(ag::matmul(Tensor::zeros({2, 3}), Tensor::zeros({2, 3})),
+               std::invalid_argument);
+}
+
+TEST(Ops, TransposeValues) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ag::transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4);
+}
+
+TEST(Ops, ReshapePreservesData) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = ag::reshape(a, {3, 2});
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6);
+  EXPECT_THROW(ag::reshape(a, {4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, DiagRoundTrip) {
+  Tensor v = Tensor::from_data({3}, {1, 2, 3});
+  Tensor d = ag::diag(v);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 2);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 0);
+  Tensor back = ag::diag_part(d);
+  EXPECT_FLOAT_EQ(back.data()[2], 3);
+}
+
+TEST(Ops, Reductions) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(ag::sum(a).item(), 21);
+  EXPECT_FLOAT_EQ(ag::mean(a).item(), 3.5);
+  Tensor rs = ag::row_sum(a);
+  EXPECT_EQ(rs.dim(0), 2);
+  EXPECT_FLOAT_EQ(rs.data()[0], 6);
+  EXPECT_FLOAT_EQ(rs.data()[1], 15);
+  Tensor cs = ag::col_sum(a);
+  EXPECT_EQ(cs.dim(1), 3);
+  EXPECT_FLOAT_EQ(cs.data()[0], 5);
+  EXPECT_FLOAT_EQ(cs.data()[2], 9);
+}
+
+TEST(Ops, RowL2Norm) {
+  Tensor a = Tensor::from_data({2, 2}, {3, 4, 0, 0});
+  Tensor n = ag::row_l2_norm(a);
+  EXPECT_NEAR(n.data()[0], 5.0f, 1e-4);
+  EXPECT_NEAR(n.data()[1], 0.0f, 1e-4);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  Tensor a = random_tensor({4, 7}, rng, -5, 5);
+  Tensor s = ag::softmax_rows(a);
+  for (int i = 0; i < 4; ++i) {
+    float acc = 0;
+    for (int j = 0; j < 7; ++j) acc += s.at(i, j);
+    EXPECT_NEAR(acc, 1.0f, 1e-5);
+  }
+}
+
+TEST(Ops, LogSoftmaxMatchesSoftmax) {
+  Rng rng(2);
+  Tensor a = random_tensor({3, 5}, rng, -3, 3);
+  Tensor s = ag::softmax_rows(a);
+  Tensor ls = ag::log_softmax_rows(a);
+  for (std::size_t i = 0; i < s.data().size(); ++i) {
+    EXPECT_NEAR(std::log(s.data()[i]), ls.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::zeros({2, 4});
+  Tensor loss = ag::cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(Ops, CrossEntropyGradientIsSoftmaxMinusOnehot) {
+  Tensor logits = Tensor::from_data({1, 3}, {1, 2, 3}, true);
+  Tensor loss = ag::cross_entropy(logits, {1});
+  loss.backward();
+  const float z = std::exp(1.f) + std::exp(2.f) + std::exp(3.f);
+  EXPECT_NEAR(logits.grad()[0], std::exp(1.f) / z, 1e-5);
+  EXPECT_NEAR(logits.grad()[1], std::exp(2.f) / z - 1.0f, 1e-5);
+  EXPECT_NEAR(logits.grad()[2], std::exp(3.f) / z, 1e-5);
+}
+
+TEST(Ops, IndexAndConcat) {
+  Tensor a = Tensor::from_data({3}, {5, 6, 7}, true);
+  Tensor i1 = ag::index(a, 1);
+  EXPECT_FLOAT_EQ(i1.item(), 6);
+  Tensor c = ag::concat_vec({a, i1});
+  EXPECT_EQ(c.numel(), 4);
+  EXPECT_FLOAT_EQ(c.data()[3], 6);
+}
+
+TEST(Ops, Slice2dValuesAndBounds) {
+  Tensor a = Tensor::from_data({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor s = ag::slice2d(a, 1, 2, 0, 2);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 4);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 8);
+  EXPECT_THROW(ag::slice2d(a, 2, 2, 0, 1), std::invalid_argument);
+}
+
+TEST(Ops, BlockMatrixAssembly) {
+  Tensor t00 = Tensor::full({2, 2}, 1.0f);
+  Tensor t01 = Tensor::full({2, 2}, 2.0f);
+  Tensor t10 = Tensor::full({2, 2}, 3.0f);
+  Tensor t11 = Tensor::full({2, 2}, 4.0f);
+  Tensor b = ag::block_matrix({t00, t01, t10, t11}, 2, 2);
+  EXPECT_EQ(b.dim(0), 4);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(b.at(0, 3), 2);
+  EXPECT_FLOAT_EQ(b.at(3, 0), 3);
+  EXPECT_FLOAT_EQ(b.at(3, 3), 4);
+}
+
+TEST(Ops, RoundSteForwardAndBackward) {
+  Tensor x = Tensor::from_data({3}, {0.2f, 0.7f, -1.4f}, true);
+  Tensor y = ag::round_ste(x);
+  EXPECT_FLOAT_EQ(y.data()[0], 0);
+  EXPECT_FLOAT_EQ(y.data()[1], 1);
+  EXPECT_FLOAT_EQ(y.data()[2], -1);
+  ag::sum(y).backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 1.0f);  // identity STE
+}
+
+TEST(Ops, SteReplace) {
+  Tensor x = Tensor::from_data({2}, {0.5f, -0.5f}, true);
+  Tensor y = ag::ste_replace(x, {9.0f, 8.0f});
+  EXPECT_FLOAT_EQ(y.data()[0], 9);
+  ag::sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+// ---- gradcheck sweep over elementwise/matrix ops ---------------------------
+
+struct OpCase {
+  std::string name;
+  std::function<Tensor(const std::vector<Tensor>&)> fn;
+  std::vector<std::vector<std::int64_t>> shapes;
+  double lo = -1.0, hi = 1.0;
+};
+
+class OpsGradcheck : public ::testing::TestWithParam<int> {};
+
+std::vector<OpCase> grad_cases() {
+  std::vector<OpCase> cases;
+  auto scalar_of = [](Tensor t) { return ag::sum(t); };
+  cases.push_back({"add", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::add(in[0], in[1]));
+                   },
+                   {{3, 4}, {3, 4}}});
+  cases.push_back({"sub_row_broadcast",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::sub(in[0], in[1]));
+                   },
+                   {{3, 4}, {1, 4}}});
+  cases.push_back({"mul_col_broadcast",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::mul(in[0], in[1]));
+                   },
+                   {{3, 4}, {3, 1}}});
+  cases.push_back({"div",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::div(in[0], in[1]));
+                   },
+                   {{2, 3}, {2, 3}},
+                   0.5,
+                   2.0});
+  cases.push_back({"exp", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::exp(in[0]));
+                   },
+                   {{2, 3}}});
+  cases.push_back({"log",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::log(in[0]));
+                   },
+                   {{2, 3}},
+                   0.5,
+                   2.0});
+  cases.push_back({"sin", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::sin(in[0]));
+                   },
+                   {{5}}});
+  cases.push_back({"cos", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::cos(in[0]));
+                   },
+                   {{5}}});
+  cases.push_back({"sqrt",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::sqrt(in[0]));
+                   },
+                   {{4}},
+                   0.5,
+                   2.0});
+  cases.push_back({"square", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::square(in[0]));
+                   },
+                   {{4}}});
+  cases.push_back({"tanh", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::tanh_t(in[0]));
+                   },
+                   {{4}}});
+  cases.push_back({"sigmoid", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::sigmoid(in[0]));
+                   },
+                   {{4}}});
+  cases.push_back({"reciprocal",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::reciprocal(in[0]));
+                   },
+                   {{4}},
+                   0.5,
+                   2.0});
+  cases.push_back({"matmul",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::matmul(in[0], in[1]));
+                   },
+                   {{3, 4}, {4, 2}}});
+  cases.push_back({"matmul_square_weighted",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::sum(ag::square(ag::matmul(in[0], in[1])));
+                   },
+                   {{2, 3}, {3, 3}}});
+  cases.push_back({"transpose", [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::square(ag::transpose(in[0])));
+                   },
+                   {{2, 4}}});
+  cases.push_back({"softmax",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::sum(ag::square(ag::softmax_rows(in[0])));
+                   },
+                   {{3, 4}},
+                   -2.0,
+                   2.0});
+  cases.push_back({"log_softmax",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::sum(ag::square(ag::log_softmax_rows(in[0])));
+                   },
+                   {{3, 4}},
+                   -2.0,
+                   2.0});
+  cases.push_back({"row_l2_norm",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::row_l2_norm(in[0]));
+                   },
+                   {{3, 4}},
+                   0.2,
+                   1.0});
+  cases.push_back({"col_l2_norm",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::col_l2_norm(in[0]));
+                   },
+                   {{3, 4}},
+                   0.2,
+                   1.0});
+  cases.push_back({"diag_chain",
+                   [scalar_of](const std::vector<Tensor>& in) {
+                     return scalar_of(ag::matmul(ag::diag(in[0]), ag::diag(in[1])));
+                   },
+                   {{3}, {3}}});
+  cases.push_back({"slice2d",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::sum(ag::square(ag::slice2d(in[0], 1, 2, 1, 2)));
+                   },
+                   {{4, 4}}});
+  cases.push_back({"block_matrix",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::sum(
+                         ag::square(ag::block_matrix({in[0], in[1], in[2], in[3]}, 2, 2)));
+                   },
+                   {{2, 2}, {2, 2}, {2, 2}, {2, 2}}});
+  cases.push_back({"cross_entropy",
+                   [](const std::vector<Tensor>& in) {
+                     return ag::cross_entropy(in[0], {1, 0, 2});
+                   },
+                   {{3, 3}},
+                   -2.0,
+                   2.0});
+  return cases;
+}
+
+TEST_P(OpsGradcheck, AnalyticMatchesNumeric) {
+  const OpCase c = grad_cases()[static_cast<std::size_t>(GetParam())];
+  Rng rng(100 + GetParam());
+  std::vector<Tensor> inputs;
+  for (const auto& shape : c.shapes) inputs.push_back(random_tensor(shape, rng, c.lo, c.hi));
+  const auto result = ag::gradcheck(c.fn, inputs);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpsGradcheck,
+                         ::testing::Range(0, static_cast<int>(grad_cases().size())),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return grad_cases()[static_cast<std::size_t>(info.param)].name;
+                         });
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Tests for the convolution/pooling/normalization operator family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace {
+
+namespace ag = adept::ag;
+using adept::Rng;
+using ag::Tensor;
+
+Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng, bool rg = true) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  std::vector<float> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return ag::make_tensor(std::move(data), std::move(shape), rg);
+}
+
+TEST(Im2col, ShapeAndIdentityKernel) {
+  // 1x1 kernel, stride 1: columns are just the pixels.
+  Rng rng(1);
+  Tensor x = random_tensor({2, 3, 4, 4}, rng, false);
+  Tensor cols = ag::im2col(x, 1, 1, 1, 0);
+  EXPECT_EQ(cols.dim(0), 2 * 4 * 4);
+  EXPECT_EQ(cols.dim(1), 3);
+  // pixel (n=1,c=2,y=3,x=0) = row (1*4+3)*4+0, col 2
+  const float expected = x.data()[static_cast<std::size_t>(((1 * 3 + 2) * 4 + 3) * 4 + 0)];
+  EXPECT_FLOAT_EQ(cols.at((1 * 4 + 3) * 4 + 0, 2), expected);
+}
+
+TEST(Im2col, KnownPatchValues) {
+  // 1 channel 3x3 image, 2x2 kernel, stride 1, no pad: 4 patches.
+  Tensor x = Tensor::from_data({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols = ag::im2col(x, 2, 2, 1, 0);
+  EXPECT_EQ(cols.dim(0), 4);
+  EXPECT_EQ(cols.dim(1), 4);
+  // first patch [1,2,4,5]
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 1);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 5);
+  // last patch [5,6,8,9]
+  EXPECT_FLOAT_EQ(cols.at(3, 0), 5);
+  EXPECT_FLOAT_EQ(cols.at(3, 3), 9);
+}
+
+TEST(Im2col, PaddingZeros) {
+  Tensor x = Tensor::from_data({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor cols = ag::im2col(x, 3, 3, 1, 1);  // 'same' 3x3
+  EXPECT_EQ(cols.dim(0), 4);
+  EXPECT_EQ(cols.dim(1), 9);
+  // top-left output: kernel centered at (0,0); top-left tap out of bounds -> 0
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1);  // center tap
+}
+
+TEST(Im2col, Gradcheck) {
+  Rng rng(2);
+  Tensor x = random_tensor({1, 2, 4, 4}, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return ag::sum(ag::square(ag::im2col(in[0], 3, 3, 1, 1)));
+  };
+  const auto result = ag::gradcheck(fn, {x});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(RowsToNchw, RoundTripWithIm2col1x1) {
+  Rng rng(3);
+  Tensor x = random_tensor({2, 3, 2, 2}, rng, false);
+  Tensor cols = ag::im2col(x, 1, 1, 1, 0);       // [N*H*W, C]
+  Tensor back = ag::rows_to_nchw(cols, 2, 2, 2); // [N,C,H,W]
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], x.data()[i]);
+  }
+}
+
+TEST(RowsToNchw, Gradcheck) {
+  Rng rng(4);
+  Tensor x = random_tensor({6, 3}, rng);  // N*OH*OW = 6 with N=1, OH=2, OW=3
+  auto fn = [](const std::vector<Tensor>& in) {
+    return ag::sum(ag::square(ag::rows_to_nchw(in[0], 1, 2, 3)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {x}).ok);
+}
+
+TEST(AdaptiveAvgPool, ExactDivision) {
+  Tensor x = Tensor::from_data({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = ag::adaptive_avgpool2d(x, 1, 1);
+  EXPECT_FLOAT_EQ(y.data()[0], 2.5f);
+}
+
+TEST(AdaptiveAvgPool, UnevenBins) {
+  Tensor x = Tensor::from_data({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y = ag::adaptive_avgpool2d(x, 2, 2);
+  EXPECT_EQ(y.dim(2), 2);
+  // bin (0,0) covers rows 0..1, cols 0..1 -> mean(1,2,4,5) = 3
+  EXPECT_FLOAT_EQ(y.data()[0], 3.0f);
+}
+
+TEST(AdaptiveAvgPool, Gradcheck) {
+  Rng rng(5);
+  Tensor x = random_tensor({1, 2, 5, 5}, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return ag::sum(ag::square(ag::adaptive_avgpool2d(in[0], 2, 2)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {x}).ok);
+}
+
+TEST(MaxPool, ValuesAndGradientRouting) {
+  Tensor x = Tensor::from_data({1, 1, 2, 2}, {1, 5, 3, 2}, true);
+  Tensor y = ag::maxpool2d(x, 2, 2);
+  EXPECT_FLOAT_EQ(y.data()[0], 5);
+  ag::sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1);  // only the argmax receives gradient
+  EXPECT_FLOAT_EQ(x.grad()[2], 0);
+}
+
+TEST(MaxPool, StrideAndShape) {
+  Rng rng(6);
+  Tensor x = random_tensor({2, 3, 6, 6}, rng, false);
+  Tensor y = ag::maxpool2d(x, 2, 2);
+  EXPECT_EQ(y.dim(2), 3);
+  EXPECT_EQ(y.dim(3), 3);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(7);
+  Tensor x = random_tensor({4, 2, 3, 3}, rng, false);
+  Tensor gamma = Tensor::full({2}, 1.0f);
+  Tensor beta = Tensor::zeros({2});
+  std::vector<float> rm(2, 0.0f), rv(2, 1.0f);
+  Tensor y = ag::batchnorm2d(x, gamma, beta, rm, rv, /*training=*/true);
+  // per-channel mean ~0, var ~1
+  for (int c = 0; c < 2; ++c) {
+    double s = 0, s2 = 0;
+    int cnt = 0;
+    for (int n = 0; n < 4; ++n) {
+      for (int i = 0; i < 9; ++i) {
+        const float v = y.data()[static_cast<std::size_t>(((n * 2 + c) * 9) + i)];
+        s += v;
+        s2 += v * v;
+        ++cnt;
+      }
+    }
+    EXPECT_NEAR(s / cnt, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / cnt, 1.0, 1e-2);
+  }
+  // running stats moved away from init
+  EXPECT_NE(rm[0], 0.0f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Tensor x = Tensor::full({1, 1, 2, 2}, 3.0f);
+  Tensor gamma = Tensor::full({1}, 1.0f);
+  Tensor beta = Tensor::zeros({1});
+  std::vector<float> rm(1, 1.0f), rv(1, 4.0f);
+  Tensor y = ag::batchnorm2d(x, gamma, beta, rm, rv, /*training=*/false);
+  EXPECT_NEAR(y.data()[0], (3.0f - 1.0f) / 2.0f, 1e-3);
+  // eval must not update running stats
+  EXPECT_FLOAT_EQ(rm[0], 1.0f);
+}
+
+TEST(BatchNorm, GradcheckTraining) {
+  Rng rng(8);
+  Tensor x = random_tensor({2, 2, 2, 2}, rng);
+  Tensor gamma = random_tensor({2}, rng);
+  Tensor beta = random_tensor({2}, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    std::vector<float> rm(2, 0.0f), rv(2, 1.0f);
+    return ag::sum(
+        ag::square(ag::batchnorm2d(in[0], in[1], in[2], rm, rv, true)));
+  };
+  const auto result = ag::gradcheck(fn, {x, gamma, beta}, 1e-2, 2e-2, 8e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 9, 2, 5, 4, 3});
+  const auto idx = ag::argmax_rows(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+}  // namespace

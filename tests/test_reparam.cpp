@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "common/rng.h"
+#include "core/reparam.h"
+
+namespace {
+
+namespace ag = adept::ag;
+namespace core = adept::core;
+using adept::Rng;
+using ag::Tensor;
+
+TEST(Reparam, SmoothedIdentityIsDoublyStochastic) {
+  for (int k : {4, 8, 16}) {
+    Tensor p = core::smoothed_identity_init(k, false);
+    for (int i = 0; i < k; ++i) {
+      double row = 0, col = 0;
+      for (int j = 0; j < k; ++j) {
+        row += p.at(i, j);
+        col += p.at(j, i);
+        EXPECT_GT(p.at(i, j), 0.0f);
+      }
+      EXPECT_NEAR(row, 1.0, 1e-5);
+      EXPECT_NEAR(col, 1.0, 1e-5);
+    }
+    // Diagonal dominates (paper: diagonal = 1/2).
+    EXPECT_NEAR(p.at(0, 0), 0.5f, 1e-5);
+  }
+}
+
+TEST(Reparam, BirkhoffRowsSumToOne) {
+  Rng rng(1);
+  std::vector<float> raw(36);
+  for (auto& v : raw) v = static_cast<float>(rng.uniform(-2, 2));
+  Tensor p = ag::make_tensor(std::move(raw), {6, 6}, false);
+  Tensor b = core::birkhoff_reparam(p);
+  for (int i = 0; i < 6; ++i) {
+    double row = 0;
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_GE(b.at(i, j), 0.0f);
+      row += b.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-4);
+  }
+}
+
+TEST(Reparam, SoftProjectionRoundsConfidentRows) {
+  // Row 0 is one-hot-ish (max 0.96 >= 1 - 0.05), row 1 is ambiguous.
+  Tensor p = Tensor::from_data({2, 2}, {0.96f, 0.04f, 0.6f, 0.4f}, true);
+  Tensor out = core::soft_permutation_project(p, 0.05f);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.6f);  // untouched
+}
+
+TEST(Reparam, SoftProjectionStopsGradientOnRoundedRows) {
+  Tensor p = Tensor::from_data({2, 2}, {0.96f, 0.04f, 0.6f, 0.4f}, true);
+  Tensor out = core::soft_permutation_project(p, 0.05f);
+  ag::sum(ag::square(out)).backward();
+  // Rounded row: zero grads; soft row: nonzero.
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(p.grad()[1], 0.0f);
+  EXPECT_NE(p.grad()[2], 0.0f);
+}
+
+TEST(Reparam, FullChainGradcheckOnSoftRows) {
+  // Away from the projection threshold the chain must be differentiable.
+  Rng rng(2);
+  std::vector<float> raw(16);
+  for (auto& v : raw) v = static_cast<float>(rng.uniform(0.3, 1.0));
+  Tensor p = ag::make_tensor(std::move(raw), {4, 4}, true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return ag::sum(ag::square(core::reparametrize_permutation(in[0], 0.05f)));
+  };
+  const auto result = ag::gradcheck(fn, {p}, 1e-3, 1e-2, 8e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Reparam, PermutationInputIsFixedPoint) {
+  // An exact permutation passes through unchanged (rounded rows).
+  Tensor p = Tensor::from_data({3, 3}, {0, 1, 0, 1, 0, 0, 0, 0, 1}, true);
+  Tensor out = core::reparametrize_permutation(p, 0.05f);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(out.at(i, j), p.at(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(Reparam, NegativeEntriesHandledByAbs) {
+  Tensor p = Tensor::from_data({2, 2}, {-0.9f, 0.1f, 0.1f, -0.9f}, false);
+  Tensor out = core::birkhoff_reparam(p);
+  EXPECT_GT(out.at(0, 0), 0.5f);
+  EXPECT_GT(out.at(1, 1), 0.5f);
+}
+
+}  // namespace

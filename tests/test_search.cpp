@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/search.h"
+
+namespace {
+
+namespace core = adept::core;
+namespace ph = adept::photonics;
+
+core::SearchConfig tiny_config() {
+  core::SearchConfig config;
+  config.mesh.k = 4;
+  config.mesh.super_blocks_per_unitary = 3;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.pdk = ph::Pdk::amf();
+  config.footprint.f_min = 40;
+  config.footprint.f_max = 240;
+  config.epochs = 6;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 3;
+  config.steps_per_epoch = 10;
+  config.alm.rho0 = 1e-4;
+  config.seed = 21;
+  return config;
+}
+
+TEST(Search, MatrixFitRunsAndProducesLegalTopology) {
+  auto config = tiny_config();
+  core::MatrixFitTask task(/*tiles=*/1, /*seed=*/5);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  EXPECT_NO_THROW(result.topology.validate());
+  EXPECT_GT(result.topology.u_blocks.size(), 0u);
+  EXPECT_GT(result.topology.v_blocks.size(), 0u);
+  // Every CR layer is a real permutation after SPL.
+  for (const auto* blocks : {&result.topology.u_blocks, &result.topology.v_blocks}) {
+    for (const auto& b : *blocks) {
+      EXPECT_TRUE(ph::is_valid_permutation(b.perm.map()));
+    }
+  }
+}
+
+TEST(Search, TraceHasOneEntryPerStep) {
+  auto config = tiny_config();
+  core::MatrixFitTask task(1, 6);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  const std::size_t steps =
+      static_cast<std::size_t>(config.epochs * config.steps_per_epoch);
+  EXPECT_EQ(result.trace.task_loss.size(), steps);
+  EXPECT_EQ(result.trace.alm_rho.size(), steps);
+  EXPECT_EQ(result.trace.expected_footprint.size(), steps);
+}
+
+TEST(Search, TaskLossDecreases) {
+  auto config = tiny_config();
+  config.epochs = 8;
+  core::MatrixFitTask task(1, 7);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  const auto& loss = result.trace.task_loss;
+  const double head =
+      std::accumulate(loss.begin(), loss.begin() + 10, 0.0) / 10.0;
+  const double tail =
+      std::accumulate(loss.end() - 10, loss.end(), 0.0) / 10.0;
+  EXPECT_LT(tail, head);
+}
+
+TEST(Search, PermutationErrorDropsToZeroAfterSpl) {
+  auto config = tiny_config();
+  core::MatrixFitTask task(1, 8);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  // After the SPL step the permutations are frozen -> error reported as 0.
+  EXPECT_NEAR(result.trace.permutation_error.back(), 0.0, 1e-6);
+  EXPECT_TRUE(searcher.mesh().permutations_frozen());
+}
+
+TEST(Search, RhoScheduleGrowsDuringTraining) {
+  auto config = tiny_config();
+  core::MatrixFitTask task(1, 9);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  EXPECT_GT(result.trace.alm_rho.back(), result.trace.alm_rho.front());
+}
+
+TEST(Search, DerivesMeshFromBoundsWhenUnset) {
+  auto config = tiny_config();
+  config.mesh.super_blocks_per_unitary = 0;  // force Eq. 16 derivation
+  config.mesh.k = 8;
+  config.footprint.f_min = 240;
+  config.footprint.f_max = 300;
+  core::MatrixFitTask task(1, 10);
+  core::AdeptSearcher searcher(config, task);
+  EXPECT_EQ(searcher.config().mesh.super_blocks_per_unitary, 3);
+  EXPECT_EQ(searcher.config().mesh.always_on_per_unitary, 1);
+}
+
+TEST(Search, FootprintPenaltySteersExpectedFootprintIntoBand) {
+  // Architecture-driving property behind Fig. 5(b): with a tight budget the
+  // expected footprint must decrease over training.
+  auto config = tiny_config();
+  config.mesh.k = 8;
+  config.mesh.super_blocks_per_unitary = 6;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.f_min = 100;
+  config.footprint.f_max = 260;  // forces dropping blocks (all-on ~ way more)
+  config.epochs = 8;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 4;
+  core::MatrixFitTask task(1, 11);
+  core::AdeptSearcher searcher(config, task);
+  const auto result = searcher.run();
+  const auto& ef = result.trace.expected_footprint;
+  const double head = std::accumulate(ef.begin(), ef.begin() + 10, 0.0) / 10.0;
+  const double tail = std::accumulate(ef.end() - 10, ef.end(), 0.0) / 10.0;
+  EXPECT_LT(tail, head);
+}
+
+TEST(Search, MetricImprovesOverUntrained) {
+  auto config = tiny_config();
+  config.epochs = 8;
+  core::MatrixFitTask fresh(1, 12);
+  {
+    // Untrained baseline metric.
+    adept::Rng rng(1);
+    core::SuperMesh mesh(config.mesh, rng);
+    fresh.bind(mesh);
+    core::MatrixFitTask trained(1, 12);
+    core::AdeptSearcher searcher(config, trained);
+    const double untrained = fresh.metric(mesh);
+    const auto result = searcher.run();
+    EXPECT_GT(result.final_metric, untrained);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/env.h"
+#include "common/table.h"
+
+namespace {
+
+using adept::Table;
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("|"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+}
+
+TEST(Env, DefaultsWhenUnset) {
+  EXPECT_EQ(adept::env_int("ADEPT_DOES_NOT_EXIST_XYZ", 7), 7);
+  EXPECT_DOUBLE_EQ(adept::env_double("ADEPT_DOES_NOT_EXIST_XYZ", 1.5), 1.5);
+}
+
+TEST(Env, ReadsSetValues) {
+  setenv("ADEPT_TEST_ENV_INT", "12", 1);
+  setenv("ADEPT_TEST_ENV_DBL", "0.25", 1);
+  EXPECT_EQ(adept::env_int("ADEPT_TEST_ENV_INT", 0), 12);
+  EXPECT_DOUBLE_EQ(adept::env_double("ADEPT_TEST_ENV_DBL", 0.0), 0.25);
+  unsetenv("ADEPT_TEST_ENV_INT");
+  unsetenv("ADEPT_TEST_ENV_DBL");
+}
+
+}  // namespace

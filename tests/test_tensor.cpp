@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+
+namespace {
+
+namespace ag = adept::ag;
+using ag::Tensor;
+
+TEST(Tensor, Factories) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.dim(0), 2);
+  EXPECT_EQ(z.dim(1), 3);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+
+  Tensor f = Tensor::full({4}, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+
+  Tensor e = Tensor::eye(3);
+  EXPECT_EQ(e.at(0, 0), 1.0f);
+  EXPECT_EQ(e.at(0, 1), 0.0f);
+  EXPECT_EQ(e.at(2, 2), 1.0f);
+
+  Tensor s = Tensor::scalar(7.0f);
+  EXPECT_EQ(s.item(), 7.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+  Tensor t = Tensor::from_data({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  Tensor t = Tensor::zeros({2});
+  EXPECT_THROW(t.item(), std::invalid_argument);
+}
+
+TEST(Tensor, BackwardSimpleChain) {
+  // y = (x * 3) + 2, dy/dx = 3
+  Tensor x = Tensor::scalar(5.0f, true);
+  Tensor y = ag::add_scalar(ag::mul_scalar(x, 3.0f), 2.0f);
+  EXPECT_FLOAT_EQ(y.item(), 17.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+}
+
+TEST(Tensor, GradAccumulatesOverSharedSubexpression) {
+  // y = x + x -> dy/dx = 2
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = ag::add(x, x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Tensor, DiamondGraphBackward) {
+  // a = x*2 ; b = x*3 ; y = a*b = 6x^2 ; dy/dx = 12x
+  Tensor x = Tensor::scalar(2.0f, true);
+  Tensor a = ag::mul_scalar(x, 2.0f);
+  Tensor b = ag::mul_scalar(x, 3.0f);
+  Tensor y = ag::mul(a, b);
+  y.backward();
+  EXPECT_FLOAT_EQ(y.item(), 24.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 24.0f);
+}
+
+TEST(Tensor, BackwardTwiceAccumulates) {
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = ag::mul_scalar(x, 4.0f);
+  y.backward();
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Tensor, NonScalarBackwardNeedsSeed) {
+  Tensor x = Tensor::from_data({2}, {1, 2}, true);
+  Tensor y = ag::mul_scalar(x, 2.0f);
+  EXPECT_THROW(y.backward(), std::invalid_argument);
+  std::vector<float> seed = {1.0f, 10.0f};
+  y.backward(&seed);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 20.0f);
+}
+
+TEST(Tensor, NoGradGuardDisablesGraph) {
+  Tensor x = Tensor::scalar(1.0f, true);
+  {
+    ag::NoGradGuard guard;
+    Tensor y = ag::mul_scalar(x, 2.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y = ag::mul_scalar(x, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(Tensor, DetachClearsGraph) {
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = ag::mul_scalar(x, 2.0f);
+  y.detach_();
+  y.backward();  // no-op into x
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(Tensor, DeepChainBackwardDoesNotOverflow) {
+  // Iterative topo sort must handle long chains (SuperMesh depth).
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = x;
+  for (int i = 0; i < 5000; ++i) y = ag::add_scalar(y, 0.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "photonics/builders.h"
+#include "photonics/devices.h"
+#include "photonics/topology.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+using adept::Rng;
+
+ph::MeshPhases random_phases(const std::vector<ph::BlockSpec>& blocks, int k, Rng& rng) {
+  ph::MeshPhases phases;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::vector<double> phi(static_cast<std::size_t>(k));
+    for (auto& p : phi) p = rng.uniform(-3.14159, 3.14159);
+    phases.per_block.push_back(std::move(phi));
+  }
+  return phases;
+}
+
+TEST(Topology, CountsSumDevices) {
+  Rng rng(1);
+  const auto topo = ph::random_topology(8, 4, rng, 0.5);
+  const auto counts = topo.counts();
+  EXPECT_EQ(counts.blocks, 8);             // 4 per unitary, U and V
+  EXPECT_EQ(counts.ps, 8 * 8);             // K per block
+  EXPECT_GE(counts.dc, 0);
+  EXPECT_GE(counts.cr, 0);
+}
+
+TEST(Topology, FootprintFormula) {
+  ph::PtcTopology topo;
+  topo.k = 4;
+  ph::BlockSpec b;
+  b.start = 0;
+  b.dc_mask = {true, false};
+  b.perm = ph::Permutation({1, 0, 2, 3});  // one crossing
+  topo.u_blocks = {b};
+  topo.v_blocks = {b};
+  const ph::Pdk pdk = ph::Pdk::amf();
+  // 2 blocks: 8 PS, 2 DC, 2 CR
+  const double expected = 8 * 6800.0 + 2 * 1500.0 + 2 * 64.0;
+  EXPECT_DOUBLE_EQ(topo.footprint_um2(pdk), expected);
+}
+
+TEST(Topology, ValidateCatchesBadParity) {
+  ph::PtcTopology topo;
+  topo.k = 4;
+  ph::BlockSpec b;
+  b.start = 2;
+  b.dc_mask = {true};
+  b.perm = ph::Permutation::identity(4);
+  topo.u_blocks = {b};
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+TEST(Topology, ValidateCatchesBadMaskSize) {
+  ph::PtcTopology topo;
+  topo.k = 4;
+  ph::BlockSpec b;
+  b.start = 0;
+  b.dc_mask = {true};  // should be 2 slots
+  b.perm = ph::Permutation::identity(4);
+  topo.u_blocks = {b};
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+TEST(Topology, ValidateCatchesOddK) {
+  ph::PtcTopology topo;
+  topo.k = 5;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+TEST(Topology, SerializeRoundTrip) {
+  Rng rng(2);
+  const auto topo = ph::random_topology(8, 5, rng, 0.7);
+  const std::string text = topo.serialize();
+  const auto back = ph::PtcTopology::deserialize(text);
+  EXPECT_EQ(back.k, topo.k);
+  EXPECT_EQ(back.u_blocks.size(), topo.u_blocks.size());
+  for (std::size_t i = 0; i < topo.u_blocks.size(); ++i) {
+    EXPECT_EQ(back.u_blocks[i].start, topo.u_blocks[i].start);
+    EXPECT_EQ(back.u_blocks[i].dc_mask, topo.u_blocks[i].dc_mask);
+    EXPECT_TRUE(back.u_blocks[i].perm == topo.u_blocks[i].perm);
+  }
+  EXPECT_EQ(back.counts().cr, topo.counts().cr);
+}
+
+TEST(Topology, DeserializeRejectsGarbage) {
+  EXPECT_THROW(ph::PtcTopology::deserialize("not a topology"), std::invalid_argument);
+}
+
+TEST(Topology, InterleavedParity) {
+  EXPECT_EQ(ph::interleaved_parity(0), 0);
+  EXPECT_EQ(ph::interleaved_parity(1), 1);
+  EXPECT_EQ(ph::interleaved_parity(2), 0);
+  EXPECT_EQ(ph::dc_slots(8, 0), 4);
+  EXPECT_EQ(ph::dc_slots(8, 1), 3);
+}
+
+class MeshUnitarityTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MeshUnitarityTest, RandomTopologyMeshIsUnitary) {
+  // Any block cascade of phase columns, (partial) balanced coupler columns,
+  // and legal permutations must be exactly unitary.
+  const auto [k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto topo = ph::random_topology(k, 6, rng, 0.6);
+  const auto phases = random_phases(topo.u_blocks, k, rng);
+  const ph::CMat u = ph::mesh_transfer(topo.u_blocks, k, phases);
+  EXPECT_LT(u.unitarity_error(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeshUnitarityTest,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(11, 22, 33)));
+
+TEST(Topology, BlockTransferComposition) {
+  // A single block with identity perm and no couplers is a pure phase column.
+  ph::BlockSpec b;
+  b.start = 0;
+  b.dc_mask = {false, false};
+  b.perm = ph::Permutation::identity(4);
+  const std::vector<double> phases = {0.5, -0.5, 1.0, 0.0};
+  const ph::CMat m = ph::block_transfer(b, 4, phases);
+  EXPECT_LT(m.max_abs_diff(ph::phase_column_matrix(phases)), 1e-12);
+}
+
+TEST(Topology, WeightTransferSigmaScaling) {
+  // With identity-like blocks (no DC, no perm, zero phases), W = diag(sigma).
+  ph::PtcTopology topo;
+  topo.k = 4;
+  ph::BlockSpec b;
+  b.start = 0;
+  b.dc_mask = {false, false};
+  b.perm = ph::Permutation::identity(4);
+  topo.u_blocks = {b};
+  topo.v_blocks = {b};
+  ph::MeshPhases zero;
+  zero.per_block = {std::vector<double>(4, 0.0)};
+  const ph::CMat w = ph::weight_transfer(topo, zero, zero, {1.0, 2.0, 3.0, 4.0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.at(i, i).real(), i + 1.0, 1e-12);
+  }
+}
+
+TEST(Topology, MeshTransferRequiresMatchingPhases) {
+  Rng rng(3);
+  const auto topo = ph::random_topology(4, 3, rng);
+  ph::MeshPhases wrong;
+  wrong.per_block = {std::vector<double>(4, 0.0)};  // only 1 block of 3
+  EXPECT_THROW(ph::mesh_transfer(topo.u_blocks, 4, wrong), std::invalid_argument);
+}
+
+}  // namespace

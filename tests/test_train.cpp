@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/supermesh.h"
+#include "photonics/builders.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "nn/variation.h"
+
+namespace {
+
+namespace core = adept::core;
+namespace data = adept::data;
+namespace nn = adept::nn;
+using adept::Rng;
+
+data::DatasetSpec tiny_spec() {
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 14;
+  spec.width = 14;
+  return spec;
+}
+
+TEST(Train, DenseProxyCnnLearnsAboveChance) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 256, 1);
+  data::SyntheticDataset test(spec, 128, 2);
+  Rng rng(1);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::dense(), rng, 4);
+  nn::TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 32;
+  config.lr = 3e-3;
+  const auto stats = nn::train_classifier(model, train, test, config);
+  EXPECT_EQ(stats.train_loss_per_epoch.size(), 4u);
+  EXPECT_GT(stats.final_accuracy, 0.3);  // 10-class chance is 0.1
+  // Loss should drop.
+  EXPECT_LT(stats.train_loss_per_epoch.back(), stats.train_loss_per_epoch.front());
+}
+
+TEST(Train, EvaluateAccuracyIsDeterministicWithoutNoise) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset test(spec, 64, 3);
+  Rng rng(2);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::dense(), rng, 4);
+  const double a1 = nn::evaluate_accuracy(model, test);
+  const double a2 = nn::evaluate_accuracy(model, test);
+  EXPECT_DOUBLE_EQ(a1, a2);
+}
+
+TEST(Train, VariationAwareTrainingRuns) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 96, 4);
+  data::SyntheticDataset test(spec, 48, 5);
+  Rng rng(3);
+  auto topo = std::make_shared<adept::photonics::PtcTopology>(
+      adept::photonics::butterfly(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  nn::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 32;
+  config.train_phase_noise = 0.02;
+  const auto stats = nn::train_classifier(model, train, test, config);
+  EXPECT_EQ(stats.test_accuracy_per_epoch.size(), 1u);
+  EXPECT_GE(stats.final_accuracy, 0.0);
+}
+
+TEST(Train, NoisyEvaluationDegradesOrMatches) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 128, 6);
+  data::SyntheticDataset test(spec, 64, 7);
+  Rng rng(4);
+  auto topo = std::make_shared<adept::photonics::PtcTopology>(
+      adept::photonics::clements_mzi(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  nn::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 32;
+  nn::train_classifier(model, train, test, config);
+  const double clean = nn::evaluate_accuracy(model, test);
+  // Heavy drift on a deep MZI mesh should not *help*.
+  const double noisy = nn::evaluate_accuracy(model, test, 128, 0.3, 9);
+  EXPECT_LE(noisy, clean + 0.08);
+}
+
+TEST(Train, OnnProxyTaskLossAndMetric) {
+  const auto spec = tiny_spec();
+  data::SyntheticDataset train(spec, 64, 8);
+  data::SyntheticDataset val(spec, 64, 9);
+  core::SuperMeshConfig mesh_config;
+  mesh_config.k = 4;
+  mesh_config.super_blocks_per_unitary = 2;
+  mesh_config.always_on_per_unitary = 1;
+  Rng rng(5);
+  core::SuperMesh mesh(mesh_config, rng);
+  nn::OnnProxyTask task(train, val, /*batch=*/16, /*width=*/4, /*seed=*/10);
+  task.bind(mesh);
+  mesh.begin_step(1.0, rng);
+  auto loss = task.loss(mesh, /*validation=*/false);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+  EXPECT_FALSE(task.weights().empty());
+  const double acc = task.metric(mesh);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Train, VariationHelpersToggleNoise) {
+  Rng rng(6);
+  auto topo = std::make_shared<adept::photonics::PtcTopology>(
+      adept::photonics::butterfly(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  nn::VariationConfig vconfig;
+  vconfig.train_noise_sigma = 0.02;
+  EXPECT_NO_THROW(nn::enable_variation_aware_training(model, vconfig));
+  EXPECT_NO_THROW(nn::disable_phase_noise(model));
+  EXPECT_NO_THROW(nn::set_test_noise(model, 0.06, 77));
+}
+
+}  // namespace
