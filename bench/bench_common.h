@@ -11,10 +11,14 @@
 //   ADEPT_BENCH_FULL=1       lift the reductions (paper-sized runs)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "common/table.h"
@@ -89,6 +93,89 @@ inline double retrain_accuracy(const photonics::PtcTopology& topo,
   config.train_phase_noise = phase_noise;
   const auto stats = nn::train_classifier(model, train, test, config);
   return stats.final_accuracy;
+}
+
+// ---- machine-readable perf reports (--json mode) --------------------------
+//
+// Benches invoked with `--json [path]` skip the interactive google-benchmark
+// run and instead emit a BENCH_<name>.json file consumed by the perf
+// trajectory (schema documented in bench/README.md). Each record carries a
+// kernel/config name plus flat numeric metrics, so future PRs can diff
+// GFLOP/s against the checked-in baseline of any earlier revision.
+
+struct JsonRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(JsonRecord record) { records_.push_back(std::move(record)); }
+
+  bool write(const std::string& path, int threads) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"threads\": " << threads
+        << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      out << "    {\"name\": \"" << r.name << "\"";
+      for (const auto& [key, value] : r.metrics) {
+        out << ", \"" << key << "\": ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out << buf;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.flush();  // surface late I/O errors (disk full) in the return value
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_;
+  std::vector<JsonRecord> records_;
+};
+
+// Wall-clock seconds of the best run of `fn()` out of `reps`, after one
+// warm-up call; fn is repeated until each timed sample spans >= min_sample_s.
+template <typename Fn>
+double time_best(Fn&& fn, int reps = 5, double min_sample_s = 0.02) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  int inner = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < inner; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_sample_s || inner >= (1 << 20)) break;
+    inner *= 2;
+  }
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < inner; ++i) fn();
+    const double s =
+        std::chrono::duration<double>(clock::now() - t0).count() / inner;
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+// Shared `--json [path]` dispatch: returns true (and fills `path`) when the
+// bench should emit a JSON report instead of running google-benchmark.
+inline bool parse_json_flag(int argc, char** argv, const std::string& def_path,
+                            std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      *path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1] : def_path;
+      return true;
+    }
+  }
+  return false;
 }
 
 inline std::string census_str(const photonics::PtcTopology& topo) {

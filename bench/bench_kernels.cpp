@@ -2,10 +2,21 @@
 // the ADEPT stack: complex matmul, mesh transfer simulation, crossing
 // counting, SVD/Procrustes, SPL, permutation reparametrization, and one full
 // autograd training step of the matrix-fit proxy.
+//
+// `bench_kernels --json [path]` instead emits BENCH_kernels.json comparing
+// the pre-port naive loops against the src/backend kernels (GFLOP/s and
+// speedup per shape); see bench/README.md for the schema.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "autograd/complex.h"
 #include "autograd/ops.h"
+#include "backend/kernels.h"
+#include "backend/parallel.h"
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/reparam.h"
 #include "core/spl.h"
@@ -15,6 +26,7 @@
 #include "photonics/linalg.h"
 
 namespace ag = adept::ag;
+namespace be = adept::backend;
 namespace core = adept::core;
 namespace ph = adept::photonics;
 
@@ -29,6 +41,44 @@ ag::Tensor random_tensor(std::vector<std::int64_t> shape, adept::Rng& rng,
   return ag::make_tensor(std::move(data), std::move(shape), rg);
 }
 
+// ---- pre-port baselines (the seed's hand loops, kept for before/after) ----
+
+// The seed's ikj loop with the zero-skip shortcut (src/autograd/ops.cpp
+// before the backend port).
+void naive_matmul(const float* a, const float* b, float* c, std::int64_t n,
+                  std::int64_t k, std::int64_t m) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(n * m));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = &b[kk * m];
+      float* crow = &c[i * m];
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// The seed's matmul backward for dA = dO @ B^T, which walked B column-wise
+// instead of using a transpose-variant gemm.
+void naive_matmul_bt(const float* g, const float* b, float* c, std::int64_t n,
+                     std::int64_t k, std::int64_t m) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(n * k));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float gv = g[i * m + j];
+      if (gv == 0.0f) continue;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        c[i * k + kk] += gv * b[kk * m + j];
+      }
+    }
+  }
+}
+
+void naive_sigmoid(const float* a, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 1.0f / (1.0f + std::exp(-a[i]));
+}
+
 void BM_RealMatmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
   adept::Rng rng(1);
@@ -40,6 +90,21 @@ void BM_RealMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_RealMatmul)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BackendGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  adept::Rng rng(1);
+  ag::Tensor a = random_tensor({n, n}, rng);
+  ag::Tensor b = random_tensor({n, n}, rng);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    be::gemm(be::Trans::N, be::Trans::N, n, n, n, 1.0f, a.data().data(), n,
+             b.data().data(), n, 0.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_BackendGemm)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_ComplexMatmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -157,6 +222,155 @@ void BM_SuperMeshTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SuperMeshTrainStep)->Arg(8)->Arg(16);
 
+// ---- --json mode: before/after GFLOP/s for the perf trajectory ------------
+
+// Each record times the backend twice: pinned to one thread (kernel quality,
+// comparable across runners with different core counts) and at the
+// configured thread count (what production sees). Baselines are the seed's
+// serial loops, so `speedup_serial` isolates the kernel win from threading.
+struct BackendTiming {
+  double serial_s;
+  double threaded_s;
+};
+
+template <typename Fn>
+BackendTiming time_backend(Fn&& fn) {
+  BackendTiming t{};
+  {
+    be::ThreadScope one(1);
+    t.serial_s = adept::bench::time_best(fn);
+  }
+  t.threaded_s = adept::bench::time_best(fn);
+  return t;
+}
+
+adept::bench::JsonRecord make_record(const char* name, double size,
+                                     double work, double t_naive,
+                                     const BackendTiming& t) {
+  return {name,
+          {{"size", size},
+           {"baseline_gflops", work / t_naive * 1e-9},
+           {"backend_serial_gflops", work / t.serial_s * 1e-9},
+           {"backend_gflops", work / t.threaded_s * 1e-9},
+           {"speedup_serial", t_naive / t.serial_s},
+           {"speedup", t_naive / t.threaded_s}}};
+}
+
+adept::bench::JsonRecord gemm_record(std::int64_t n) {
+  adept::Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  const double t_naive = adept::bench::time_best(
+      [&] { naive_matmul(a.data(), b.data(), c.data(), n, n, n); });
+  const auto t = time_backend([&] {
+    be::gemm(be::Trans::N, be::Trans::N, n, n, n, 1.0f, a.data(), n, b.data(),
+             n, 0.0f, c.data(), n);
+  });
+  return make_record("gemm_f32", static_cast<double>(n), flops, t_naive, t);
+}
+
+adept::bench::JsonRecord gemm_bt_record(std::int64_t n) {
+  adept::Rng rng(2);
+  std::vector<float> g(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : g) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  const double t_naive = adept::bench::time_best(
+      [&] { naive_matmul_bt(g.data(), b.data(), c.data(), n, n, n); });
+  const auto t = time_backend([&] {
+    be::gemm(be::Trans::N, be::Trans::T, n, n, n, 1.0f, g.data(), n, b.data(),
+             n, 0.0f, c.data(), n);
+  });
+  return make_record("gemm_f32_bt", static_cast<double>(n), flops, t_naive, t);
+}
+
+adept::bench::JsonRecord map_record(std::size_t n) {
+  adept::Rng rng(3);
+  std::vector<float> a(n), out(n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-4, 4));
+  const double t_naive =
+      adept::bench::time_best([&] { naive_sigmoid(a.data(), out.data(), n); });
+  const auto t = time_backend([&] {
+    be::map(n, a.data(), out.data(),
+            [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  });
+  return make_record("map_sigmoid", static_cast<double>(n),
+                     static_cast<double>(n), t_naive, t);
+}
+
+adept::bench::JsonRecord im2col_record() {
+  // Dims come through env_int so the baseline loop sees runtime values, the
+  // same conditions the autograd op ran under before the port (a literal-dim
+  // baseline would let the compiler fully unroll the tap loops and compare a
+  // specialized kernel against a general one).
+  const std::int64_t n = adept::env_int("ADEPT_BENCH_IM2COL_N", 8);
+  const std::int64_t c = adept::env_int("ADEPT_BENCH_IM2COL_C", 8);
+  const std::int64_t h = adept::env_int("ADEPT_BENCH_IM2COL_HW", 32);
+  const std::int64_t kh = adept::env_int("ADEPT_BENCH_IM2COL_K", 3);
+  const std::int64_t w = h, kw = kh, stride = 1, pad = 1;
+  adept::Rng rng(4);
+  std::vector<float> x(static_cast<std::size_t>(n * c * h * w));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  const std::int64_t cols = c * kh * kw;
+  std::vector<float> out(static_cast<std::size_t>(n * oh * ow * cols));
+  // Seed-style serial gather as the baseline.
+  const double t_naive = adept::bench::time_best([&] {
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (std::int64_t ni = 0; ni < n; ++ni)
+      for (std::int64_t yo = 0; yo < oh; ++yo)
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          const std::int64_t row = (ni * oh + yo) * ow + xo;
+          for (std::int64_t ci = 0; ci < c; ++ci)
+            for (std::int64_t ky = 0; ky < kh; ++ky) {
+              const std::int64_t yi = yo * stride - pad + ky;
+              if (yi < 0 || yi >= h) continue;
+              for (std::int64_t kx = 0; kx < kw; ++kx) {
+                const std::int64_t xi = xo * stride - pad + kx;
+                if (xi < 0 || xi >= w) continue;
+                out[static_cast<std::size_t>(row * cols + (ci * kh + ky) * kw + kx)] =
+                    x[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)];
+              }
+            }
+        }
+  });
+  const auto t = time_backend(
+      [&] { be::im2col(x.data(), n, c, h, w, kh, kw, stride, pad, out.data()); });
+  const double elems = static_cast<double>(n * oh * ow * cols);
+  return make_record("im2col", static_cast<double>(h), elems, t_naive, t);
+}
+
+int run_json_report(const std::string& path) {
+  adept::bench::JsonReport report("kernels");
+  for (std::int64_t n : {64, 128, 256}) report.add(gemm_record(n));
+  for (std::int64_t n : {64, 128, 256}) report.add(gemm_bt_record(n));
+  report.add(map_record(1u << 20));
+  report.add(im2col_record());
+  if (!report.write(path, be::num_threads())) {
+    std::cerr << "bench_kernels: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (threads=" << be::num_threads() << ")\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (adept::bench::parse_json_flag(argc, argv, "BENCH_kernels.json", &json_path)) {
+    return run_json_report(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/kernels.h"
+
 namespace adept::ag {
+
+namespace be = ::adept::backend;
 
 namespace {
 
@@ -65,16 +69,45 @@ Tensor binary_op(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
   const auto& bd = b.data();
   const std::size_t n = static_cast<std::size_t>(big.numel());
   std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t ia = a_is_bcast ? bidx(kind, i, m) : i;
-    const std::size_t ib = b_is_bcast ? bidx(kind, i, m) : i;
-    out[i] = fwd(ad[ia], bd[ib]);
+  if (kind == Bcast::same) {
+    be::zip(n, ad.data(), bd.data(), out.data(), fwd);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t ia = a_is_bcast ? bidx(kind, i, m) : i;
+      const std::size_t ib = b_is_bcast ? bidx(kind, i, m) : i;
+      out[i] = fwd(ad[ia], bd[ib]);
+    }
   }
   auto shape = big.shape();
   return make_op(std::move(out), shape, {a, b},
                  [a, b, kind, a_is_bcast, b_is_bcast, m, dfa, dfb](TensorImpl& o) {
                    const auto& ad = a.data();
                    const auto& bd = b.data();
+                   if (kind == Bcast::same) {
+                     // Same-shape grads touch disjoint indices: fused+threaded.
+                     const float* gp = o.grad.data();
+                     if (a.requires_grad()) {
+                       auto& ga = const_cast<Tensor&>(a).grad();
+                       float* gap = ga.data();
+                       const float* ap = ad.data();
+                       const float* bp = bd.data();
+                       be::for_each_index(
+                           static_cast<std::int64_t>(o.grad.size()),
+                           [=](std::int64_t i) { gap[i] += gp[i] * dfa(ap[i], bp[i]); });
+                     }
+                     if (b.requires_grad()) {
+                       auto& gb = const_cast<Tensor&>(b).grad();
+                       float* gbp = gb.data();
+                       const float* ap = ad.data();
+                       const float* bp = bd.data();
+                       be::for_each_index(
+                           static_cast<std::int64_t>(o.grad.size()),
+                           [=](std::int64_t i) { gbp[i] += gp[i] * dfb(ap[i], bp[i]); });
+                     }
+                     return;
+                   }
+                   // Broadcast grads reduce many outputs into one slot; keep
+                   // the serial accumulation order.
                    if (a.requires_grad()) {
                      auto& ga = const_cast<Tensor&>(a).grad();
                      for (std::size_t i = 0; i < o.grad.size(); ++i) {
@@ -99,14 +132,16 @@ template <typename Fwd, typename Df>
 Tensor unary_op(const Tensor& a, Fwd fwd, Df df) {
   const auto& ad = a.data();
   std::vector<float> out(ad.size());
-  for (std::size_t i = 0; i < ad.size(); ++i) out[i] = fwd(ad[i]);
+  be::map(ad.size(), ad.data(), out.data(), fwd);
   return make_op(std::move(out), a.shape(), {a}, [a, df](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
-    const auto& ad = a.data();
-    for (std::size_t i = 0; i < o.grad.size(); ++i) {
-      ga[i] += o.grad[i] * df(ad[i], o.data[i]);
-    }
+    float* gap = ga.data();
+    const float* ap = a.data().data();
+    const float* gp = o.grad.data();
+    const float* yp = o.data.data();
+    be::for_each_index(static_cast<std::int64_t>(o.grad.size()),
+                       [=](std::int64_t i) { gap[i] += gp[i] * df(ap[i], yp[i]); });
   });
 }
 
@@ -248,49 +283,24 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check(a.ndim() == 2 && b.ndim() == 2, "matmul: expects 2-D tensors");
   const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   check(b.dim(0) == k, "matmul: inner dims mismatch");
-  std::vector<float> out(static_cast<std::size_t>(n * m), 0.0f);
-  const auto& ad = a.data();
-  const auto& bd = b.data();
-  // ikj loop order for cache-friendly access of b and out.
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = ad[static_cast<std::size_t>(i * k + kk)];
-      if (av == 0.0f) continue;
-      const float* brow = &bd[static_cast<std::size_t>(kk * m)];
-      float* orow = &out[static_cast<std::size_t>(i * m)];
-      for (std::int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
-  }
+  std::vector<float> out(static_cast<std::size_t>(n * m));
+  be::gemm(be::Trans::N, be::Trans::N, n, m, k, 1.0f, a.data().data(), k,
+           b.data().data(), m, 0.0f, out.data(), m);
   return make_op(std::move(out), {n, m}, {a, b}, [a, b, n, k, m](TensorImpl& o) {
-    const auto& ad = a.data();
-    const auto& bd = b.data();
+    // Both grads are gemms against the logically transposed operand; no
+    // transposed Tensor is built on the tape — the kernel gathers blocked
+    // panels internally (bounded scratch, see backend gemm).
     if (a.requires_grad()) {
-      // dA = dO @ B^T
+      // dA += dO @ B^T : [n,m] x [m,k]
       auto& ga = const_cast<Tensor&>(a).grad();
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t j = 0; j < m; ++j) {
-          const float gv = o.grad[static_cast<std::size_t>(i * m + j)];
-          if (gv == 0.0f) continue;
-          const float* brow = &bd[static_cast<std::size_t>(j)];
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            ga[static_cast<std::size_t>(i * k + kk)] +=
-                gv * brow[static_cast<std::size_t>(kk * m)];
-          }
-        }
-      }
+      be::gemm(be::Trans::N, be::Trans::T, n, k, m, 1.0f, o.grad.data(), m,
+               b.data().data(), m, 1.0f, ga.data(), k);
     }
     if (b.requires_grad()) {
-      // dB = A^T @ dO
+      // dB += A^T @ dO : [k,n] x [n,m]
       auto& gb = const_cast<Tensor&>(b).grad();
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-          const float av = ad[static_cast<std::size_t>(i * k + kk)];
-          if (av == 0.0f) continue;
-          const float* grow = &o.grad[static_cast<std::size_t>(i * m)];
-          float* gbrow = &gb[static_cast<std::size_t>(kk * m)];
-          for (std::int64_t j = 0; j < m; ++j) gbrow[j] += av * grow[j];
-        }
-      }
+      be::gemm(be::Trans::T, be::Trans::N, k, m, n, 1.0f, a.data().data(), k,
+               o.grad.data(), m, 1.0f, gb.data(), m);
     }
   });
 }
@@ -299,21 +309,23 @@ Tensor transpose(const Tensor& a) {
   check(a.ndim() == 2, "transpose: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n * m));
-  const auto& ad = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < m; ++j) {
-      out[static_cast<std::size_t>(j * n + i)] = ad[static_cast<std::size_t>(i * m + j)];
-    }
-  }
+  const float* ad = a.data().data();
+  float* op = out.data();
+  be::for_each_index(
+      m, [=](std::int64_t j) {
+        for (std::int64_t i = 0; i < n; ++i) op[j * n + i] = ad[i * m + j];
+      },
+      /*grain=*/std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(n, 1)));
   return make_op(std::move(out), {m, n}, {a}, [a, n, m](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < m; ++j) {
-        ga[static_cast<std::size_t>(i * m + j)] +=
-            o.grad[static_cast<std::size_t>(j * n + i)];
-      }
-    }
+    float* gap = ga.data();
+    const float* gp = o.grad.data();
+    be::for_each_index(
+        n, [=](std::int64_t i) {
+          for (std::int64_t j = 0; j < m; ++j) gap[i * m + j] += gp[j * n + i];
+        },
+        /*grain=*/std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(m, 1)));
   });
 }
 
@@ -357,12 +369,14 @@ Tensor diag_part(const Tensor& m) {
 }
 
 Tensor sum(const Tensor& a) {
-  double acc = 0.0;
-  for (float x : a.data()) acc += x;
+  const double acc = be::reduce_sum(a.data().data(), a.data().size());
   return make_op({static_cast<float>(acc)}, {1}, {a}, [a](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
-    for (auto& g : ga) g += o.grad[0];
+    float* gap = ga.data();
+    const float g = o.grad[0];
+    be::for_each_index(static_cast<std::int64_t>(ga.size()),
+                       [=](std::int64_t i) { gap[i] += g; });
   });
 }
 
@@ -375,19 +389,29 @@ Tensor row_sum(const Tensor& a) {
   check(a.ndim() == 2, "row_sum: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
-  const auto& ad = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::int64_t j = 0; j < m; ++j) acc += ad[static_cast<std::size_t>(i * m + j)];
-    out[static_cast<std::size_t>(i)] = static_cast<float>(acc);
-  }
-  return make_op(std::move(out), {n, 1}, {a}, [a, n, m](TensorImpl& o) {
+  const float* ad = a.data().data();
+  float* op = out.data();
+  const std::int64_t row_grain = std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(m, 1));
+  be::for_each_index(
+      n,
+      [=](std::int64_t i) {
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < m; ++j) acc += ad[i * m + j];
+        op[i] = static_cast<float>(acc);
+      },
+      row_grain);
+  return make_op(std::move(out), {n, 1}, {a}, [a, n, m, row_grain](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float g = o.grad[static_cast<std::size_t>(i)];
-      for (std::int64_t j = 0; j < m; ++j) ga[static_cast<std::size_t>(i * m + j)] += g;
-    }
+    float* gap = ga.data();
+    const float* gp = o.grad.data();
+    be::for_each_index(
+        n,
+        [=](std::int64_t i) {
+          const float g = gp[i];
+          for (std::int64_t j = 0; j < m; ++j) gap[i * m + j] += g;
+        },
+        row_grain);
   });
 }
 
@@ -428,34 +452,43 @@ Tensor softmax_rows(const Tensor& a) {
   check(a.ndim() == 2, "softmax_rows: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n * m));
-  const auto& ad = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[static_cast<std::size_t>(i * m + j)]);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < m; ++j) {
-      const float e = std::exp(ad[static_cast<std::size_t>(i * m + j)] - mx);
-      out[static_cast<std::size_t>(i * m + j)] = e;
-      z += e;
-    }
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t j = 0; j < m; ++j) out[static_cast<std::size_t>(i * m + j)] *= inv;
-  }
-  return make_op(std::move(out), {n, m}, {a}, [a, n, m](TensorImpl& o) {
+  const float* ad = a.data().data();
+  float* op = out.data();
+  const std::int64_t row_grain = std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(m, 1));
+  be::for_each_index(
+      n,
+      [=](std::int64_t i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[i * m + j]);
+        double z = 0.0;
+        for (std::int64_t j = 0; j < m; ++j) {
+          const float e = std::exp(ad[i * m + j] - mx);
+          op[i * m + j] = e;
+          z += e;
+        }
+        const float inv = static_cast<float>(1.0 / z);
+        for (std::int64_t j = 0; j < m; ++j) op[i * m + j] *= inv;
+      },
+      row_grain);
+  return make_op(std::move(out), {n, m}, {a}, [a, n, m, row_grain](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
+    float* gap = ga.data();
+    const float* gp = o.grad.data();
+    const float* yp = o.data.data();
     // dx = y * (dy - sum_j dy_j y_j) per row
-    for (std::int64_t i = 0; i < n; ++i) {
-      double dot = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) {
-        const std::size_t idx = static_cast<std::size_t>(i * m + j);
-        dot += static_cast<double>(o.grad[idx]) * o.data[idx];
-      }
-      for (std::int64_t j = 0; j < m; ++j) {
-        const std::size_t idx = static_cast<std::size_t>(i * m + j);
-        ga[idx] += o.data[idx] * (o.grad[idx] - static_cast<float>(dot));
-      }
-    }
+    be::for_each_index(
+        n,
+        [=](std::int64_t i) {
+          double dot = 0.0;
+          for (std::int64_t j = 0; j < m; ++j) {
+            dot += static_cast<double>(gp[i * m + j]) * yp[i * m + j];
+          }
+          for (std::int64_t j = 0; j < m; ++j) {
+            gap[i * m + j] += yp[i * m + j] * (gp[i * m + j] - static_cast<float>(dot));
+          }
+        },
+        row_grain);
   });
 }
 
@@ -463,28 +496,36 @@ Tensor log_softmax_rows(const Tensor& a) {
   check(a.ndim() == 2, "log_softmax_rows: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n * m));
-  const auto& ad = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[static_cast<std::size_t>(i * m + j)]);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < m; ++j) z += std::exp(ad[static_cast<std::size_t>(i * m + j)] - mx);
-    const float lz = mx + static_cast<float>(std::log(z));
-    for (std::int64_t j = 0; j < m; ++j) {
-      out[static_cast<std::size_t>(i * m + j)] = ad[static_cast<std::size_t>(i * m + j)] - lz;
-    }
-  }
-  return make_op(std::move(out), {n, m}, {a}, [a, n, m](TensorImpl& o) {
+  const float* ad = a.data().data();
+  float* op = out.data();
+  const std::int64_t row_grain = std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(m, 1));
+  be::for_each_index(
+      n,
+      [=](std::int64_t i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[i * m + j]);
+        double z = 0.0;
+        for (std::int64_t j = 0; j < m; ++j) z += std::exp(ad[i * m + j] - mx);
+        const float lz = mx + static_cast<float>(std::log(z));
+        for (std::int64_t j = 0; j < m; ++j) op[i * m + j] = ad[i * m + j] - lz;
+      },
+      row_grain);
+  return make_op(std::move(out), {n, m}, {a}, [a, n, m, row_grain](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      double gsum = 0.0;
-      for (std::int64_t j = 0; j < m; ++j) gsum += o.grad[static_cast<std::size_t>(i * m + j)];
-      for (std::int64_t j = 0; j < m; ++j) {
-        const std::size_t idx = static_cast<std::size_t>(i * m + j);
-        ga[idx] += o.grad[idx] - std::exp(o.data[idx]) * static_cast<float>(gsum);
-      }
-    }
+    float* gap = ga.data();
+    const float* gp = o.grad.data();
+    const float* yp = o.data.data();
+    be::for_each_index(
+        n,
+        [=](std::int64_t i) {
+          double gsum = 0.0;
+          for (std::int64_t j = 0; j < m; ++j) gsum += gp[i * m + j];
+          for (std::int64_t j = 0; j < m; ++j) {
+            gap[i * m + j] += gp[i * m + j] - std::exp(yp[i * m + j]) * static_cast<float>(gsum);
+          }
+        },
+        row_grain);
   });
 }
 
@@ -613,51 +654,14 @@ Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
   const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
   check(oh > 0 && ow > 0, "im2col: output is empty");
   const std::int64_t cols = c * kh * kw;
-  std::vector<float> out(static_cast<std::size_t>(n * oh * ow * cols), 0.0f);
-  const auto& xd = x.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t yo = 0; yo < oh; ++yo) {
-      for (std::int64_t xo = 0; xo < ow; ++xo) {
-        const std::int64_t row = (ni * oh + yo) * ow + xo;
-        for (std::int64_t ci = 0; ci < c; ++ci) {
-          for (std::int64_t ky = 0; ky < kh; ++ky) {
-            const std::int64_t yi = yo * stride - pad + ky;
-            if (yi < 0 || yi >= h) continue;
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-              const std::int64_t xi = xo * stride - pad + kx;
-              if (xi < 0 || xi >= w) continue;
-              out[static_cast<std::size_t>(row * cols + (ci * kh + ky) * kw + kx)] =
-                  xd[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)];
-            }
-          }
-        }
-      }
-    }
-  }
+  std::vector<float> out(static_cast<std::size_t>(n * oh * ow * cols));
+  be::im2col(x.data().data(), n, c, h, w, kh, kw, stride, pad, out.data());
   return make_op(std::move(out), {n * oh * ow, cols}, {x},
-                 [x, n, c, h, w, kh, kw, stride, pad, oh, ow, cols](TensorImpl& o) {
+                 [x, n, c, h, w, kh, kw, stride, pad](TensorImpl& o) {
                    if (!x.requires_grad()) return;
                    auto& gx = const_cast<Tensor&>(x).grad();
-                   for (std::int64_t ni = 0; ni < n; ++ni) {
-                     for (std::int64_t yo = 0; yo < oh; ++yo) {
-                       for (std::int64_t xo = 0; xo < ow; ++xo) {
-                         const std::int64_t row = (ni * oh + yo) * ow + xo;
-                         for (std::int64_t ci = 0; ci < c; ++ci) {
-                           for (std::int64_t ky = 0; ky < kh; ++ky) {
-                             const std::int64_t yi = yo * stride - pad + ky;
-                             if (yi < 0 || yi >= h) continue;
-                             for (std::int64_t kx = 0; kx < kw; ++kx) {
-                               const std::int64_t xi = xo * stride - pad + kx;
-                               if (xi < 0 || xi >= w) continue;
-                               gx[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)] +=
-                                   o.grad[static_cast<std::size_t>(
-                                       row * cols + (ci * kh + ky) * kw + kx)];
-                             }
-                           }
-                         }
-                       }
-                     }
-                   }
+                   be::col2im(o.grad.data(), n, c, h, w, kh, kw, stride, pad,
+                              gx.data());
                  });
 }
 
@@ -802,28 +806,33 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto invstd_v = std::make_shared<std::vector<float>>(static_cast<std::size_t>(c));
   const auto& xd = x.data();
   if (training) {
-    for (std::int64_t ci = 0; ci < c; ++ci) {
-      double s = 0.0, s2 = 0.0;
-      for (std::int64_t ni = 0; ni < n; ++ni) {
-        const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
-        for (std::int64_t i = 0; i < h * w; ++i) {
-          const double v = xd[base + static_cast<std::size_t>(i)];
-          s += v;
-          s2 += v * v;
-        }
-      }
-      const double mu = s / static_cast<double>(cnt);
-      const double var = std::max(s2 / static_cast<double>(cnt) - mu * mu, 0.0);
-      (*mean_v)[static_cast<std::size_t>(ci)] = static_cast<float>(mu);
-      (*invstd_v)[static_cast<std::size_t>(ci)] =
-          static_cast<float>(1.0 / std::sqrt(var + eps));
-      running_mean[static_cast<std::size_t>(ci)] =
-          (1.0f - momentum) * running_mean[static_cast<std::size_t>(ci)] +
-          momentum * static_cast<float>(mu);
-      running_var[static_cast<std::size_t>(ci)] =
-          (1.0f - momentum) * running_var[static_cast<std::size_t>(ci)] +
-          momentum * static_cast<float>(var);
-    }
+    float* rm = running_mean.data();
+    float* rv = running_var.data();
+    float* mv = mean_v->data();
+    float* iv = invstd_v->data();
+    const float* xp = xd.data();
+    // Channels own disjoint stats slots; accumulation within a channel stays
+    // in ni-major order, so this is bit-exact vs. the serial loop.
+    be::for_each_index(
+        c,
+        [=](std::int64_t ci) {
+          double s = 0.0, s2 = 0.0;
+          for (std::int64_t ni = 0; ni < n; ++ni) {
+            const float* base = xp + ((ni * c + ci) * h) * w;
+            for (std::int64_t i = 0; i < h * w; ++i) {
+              const double v = base[i];
+              s += v;
+              s2 += v * v;
+            }
+          }
+          const double mu = s / static_cast<double>(cnt);
+          const double var = std::max(s2 / static_cast<double>(cnt) - mu * mu, 0.0);
+          mv[ci] = static_cast<float>(mu);
+          iv[ci] = static_cast<float>(1.0 / std::sqrt(var + eps));
+          rm[ci] = (1.0f - momentum) * rm[ci] + momentum * static_cast<float>(mu);
+          rv[ci] = (1.0f - momentum) * rv[ci] + momentum * static_cast<float>(var);
+        },
+        /*grain=*/1);
   } else {
     for (std::int64_t ci = 0; ci < c; ++ci) {
       (*mean_v)[static_cast<std::size_t>(ci)] = running_mean[static_cast<std::size_t>(ci)];
@@ -832,41 +841,61 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
   }
   std::vector<float> out(xd.size());
-  const auto& gd = gamma.data();
-  const auto& bd = beta.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t ci = 0; ci < c; ++ci) {
-      const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
-      const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
-      const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
-      const float g = gd[static_cast<std::size_t>(ci)];
-      const float b = bd[static_cast<std::size_t>(ci)];
-      for (std::int64_t i = 0; i < h * w; ++i) {
-        out[base + static_cast<std::size_t>(i)] =
-            (xd[base + static_cast<std::size_t>(i)] - mu) * is * g + b;
-      }
-    }
+  {
+    const float* gd = gamma.data().data();
+    const float* bd = beta.data().data();
+    const float* mv = mean_v->data();
+    const float* iv = invstd_v->data();
+    const float* xp = xd.data();
+    float* op = out.data();
+    const std::int64_t plane = h * w;
+    be::for_each_index(
+        n * c,
+        [=](std::int64_t slice) {
+          const std::int64_t ci = slice % c;
+          const float mu = mv[ci], is = iv[ci], g = gd[ci], b = bd[ci];
+          const float* xb = xp + slice * plane;
+          float* ob = op + slice * plane;
+          for (std::int64_t i = 0; i < plane; ++i) ob[i] = (xb[i] - mu) * is * g + b;
+        },
+        /*grain=*/std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)));
   }
   return make_op(
       std::move(out), x.shape(), {x, gamma, beta},
       [x, gamma, beta, mean_v, invstd_v, n, c, h, w, cnt, training](TensorImpl& o) {
         const auto& xd = x.data();
         const auto& gd = gamma.data();
-        // Pre-compute per-channel reductions of the output gradient.
+        // Pre-compute per-channel reductions of the output gradient. Each
+        // channel accumulates in ni-major order into its own slot, so the
+        // channel loop is the parallel dimension.
         std::vector<double> sum_dy(static_cast<std::size_t>(c), 0.0);
         std::vector<double> sum_dy_xhat(static_cast<std::size_t>(c), 0.0);
-        for (std::int64_t ni = 0; ni < n; ++ni) {
-          for (std::int64_t ci = 0; ci < c; ++ci) {
-            const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
-            const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
-            const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
-            for (std::int64_t i = 0; i < h * w; ++i) {
-              const float dy = o.grad[base + static_cast<std::size_t>(i)];
-              const float xh = (xd[base + static_cast<std::size_t>(i)] - mu) * is;
-              sum_dy[static_cast<std::size_t>(ci)] += dy;
-              sum_dy_xhat[static_cast<std::size_t>(ci)] += static_cast<double>(dy) * xh;
-            }
-          }
+        {
+          double* sdp = sum_dy.data();
+          double* sxp = sum_dy_xhat.data();
+          const float* xp = xd.data();
+          const float* gp = o.grad.data();
+          const float* mv = mean_v->data();
+          const float* iv = invstd_v->data();
+          const std::int64_t plane = h * w;
+          be::for_each_index(
+              c,
+              [=](std::int64_t ci) {
+                const float mu = mv[ci], is = iv[ci];
+                double sd = 0.0, sx = 0.0;
+                for (std::int64_t ni = 0; ni < n; ++ni) {
+                  const float* xb = xp + ((ni * c + ci) * plane);
+                  const float* gb = gp + ((ni * c + ci) * plane);
+                  for (std::int64_t i = 0; i < plane; ++i) {
+                    const float dy = gb[i];
+                    sd += dy;
+                    sx += static_cast<double>(dy) * ((xb[i] - mu) * is);
+                  }
+                }
+                sdp[ci] = sd;
+                sxp[ci] = sx;
+              },
+              /*grain=*/1);
         }
         if (gamma.requires_grad()) {
           auto& gg = const_cast<Tensor&>(gamma).grad();
@@ -885,27 +914,36 @@ Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (x.requires_grad()) {
           auto& gx = const_cast<Tensor&>(x).grad();
           const float inv_cnt = 1.0f / static_cast<float>(cnt);
-          for (std::int64_t ni = 0; ni < n; ++ni) {
-            for (std::int64_t ci = 0; ci < c; ++ci) {
-              const std::size_t base = static_cast<std::size_t>(((ni * c + ci) * h) * w);
-              const float mu = (*mean_v)[static_cast<std::size_t>(ci)];
-              const float is = (*invstd_v)[static_cast<std::size_t>(ci)];
-              const float g = gd[static_cast<std::size_t>(ci)];
-              const float sdy = static_cast<float>(sum_dy[static_cast<std::size_t>(ci)]);
-              const float sdyx =
-                  static_cast<float>(sum_dy_xhat[static_cast<std::size_t>(ci)]);
-              for (std::int64_t i = 0; i < h * w; ++i) {
-                const float dy = o.grad[base + static_cast<std::size_t>(i)];
-                const float xh = (xd[base + static_cast<std::size_t>(i)] - mu) * is;
-                if (training) {
-                  gx[base + static_cast<std::size_t>(i)] +=
-                      g * is * (dy - inv_cnt * sdy - xh * inv_cnt * sdyx);
-                } else {
-                  gx[base + static_cast<std::size_t>(i)] += g * is * dy;
+          float* gxp = gx.data();
+          const float* xp = xd.data();
+          const float* gp = o.grad.data();
+          const float* gdp = gd.data();
+          const float* mv = mean_v->data();
+          const float* iv = invstd_v->data();
+          const double* sdp = sum_dy.data();
+          const double* sxp = sum_dy_xhat.data();
+          const std::int64_t plane = h * w;
+          be::for_each_index(
+              n * c,
+              [=](std::int64_t slice) {
+                const std::int64_t ci = slice % c;
+                const float mu = mv[ci], is = iv[ci], g = gdp[ci];
+                const float sdy = static_cast<float>(sdp[ci]);
+                const float sdyx = static_cast<float>(sxp[ci]);
+                const float* xb = xp + slice * plane;
+                const float* gb = gp + slice * plane;
+                float* gxb = gxp + slice * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                  const float dy = gb[i];
+                  if (training) {
+                    const float xh = (xb[i] - mu) * is;
+                    gxb[i] += g * is * (dy - inv_cnt * sdy - xh * inv_cnt * sdyx);
+                  } else {
+                    gxb[i] += g * is * dy;
+                  }
                 }
-              }
-            }
-          }
+              },
+              /*grain=*/std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)));
         }
       });
 }

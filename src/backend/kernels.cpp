@@ -1,0 +1,208 @@
+#include "backend/kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace adept::backend {
+
+namespace {
+
+// Panel sizes for the blocked GEMM. Rows of C are the parallel dimension;
+// kKBlock-deep panels of op(B) are packed contiguously when B is logically
+// transposed so the innermost axpy always streams unit-stride memory.
+constexpr std::int64_t kRowBlock = 48;
+constexpr std::int64_t kKBlock = 256;
+
+// SkipZero preserves the seed's sparse-operand shortcut for the photonic
+// matrices (butterfly/permutation products are mostly zeros); the float NN
+// path keeps a branch-free inner loop instead.
+template <typename T, bool SkipZero>
+void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, T alpha, const T* a, std::int64_t lda,
+               const T* b, std::int64_t ldb, T beta, T* c, std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  auto scale_row = [&](T* crow) {
+    if (beta == T{}) {
+      std::fill(crow, crow + n, T{});
+    } else if (beta != T{1}) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  };
+  if (k <= 0) {
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) scale_row(c + i * ldc);
+    });
+    return;
+  }
+  // k-panels are the outer loop so a logically transposed B is gathered into
+  // the packed scratch exactly once per panel and shared by every row task;
+  // scratch stays bounded at kKBlock*n, never a full copy of B. The inner
+  // axpy then always streams unit-stride memory. Per-element accumulation
+  // order (k0 ascending, kk ascending) is independent of the row chunking,
+  // preserving bit-exactness across thread counts.
+  std::vector<T> bpack;
+  if (tb == Trans::T) bpack.resize(static_cast<std::size_t>(std::min(kKBlock, k) * n));
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t kc = std::min(kKBlock, k - k0);
+    const T* bpanel;
+    std::int64_t bstride;
+    if (tb == Trans::N) {
+      bpanel = b + k0 * ldb;
+      bstride = ldb;
+    } else {
+      T* bp = bpack.data();
+      parallel_for(kc, kRowBlock, [=](std::int64_t kk0, std::int64_t kk1) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const T* bcol = b + j * ldb + k0;
+          for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+            bp[kk * n + j] = bcol[kk];
+          }
+        }
+      });
+      bpanel = bpack.data();
+      bstride = n;
+    }
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        T* crow = c + i * ldc;
+        if (k0 == 0) scale_row(crow);
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          T av = ta == Trans::N ? a[i * lda + k0 + kk]
+                                : a[(k0 + kk) * lda + i];
+          if constexpr (SkipZero) {
+            if (av == T{}) continue;
+          }
+          av *= alpha;
+          const T* brow = bpanel + kk * bstride;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  gemm_impl<float, false>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          double alpha, const double* a, std::int64_t lda, const double* b,
+          std::int64_t ldb, double beta, double* c, std::int64_t ldc) {
+  gemm_impl<double, true>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          std::complex<double> alpha, const std::complex<double>* a,
+          std::int64_t lda, const std::complex<double>* b, std::int64_t ldb,
+          std::complex<double> beta, std::complex<double>* c,
+          std::int64_t ldc) {
+  gemm_impl<std::complex<double>, true>(ta, tb, m, n, k, alpha, a, lda, b, ldb,
+                                        beta, c, ldc);
+}
+
+void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* out) {
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  const std::int64_t cols = c * kh * kw;
+  const std::int64_t rows = n * oh * ow;
+  // One output row per patch; rows are independent, so parallelize there.
+  // Zero whole chunks up front (one large fill beats a per-row fill by ~3x),
+  // then gather only the in-image taps.
+  parallel_for(rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
+               [=](std::int64_t r0, std::int64_t r1) {
+                 std::fill(out + r0 * cols, out + r1 * cols, 0.0f);
+                 for (std::int64_t row = r0; row < r1; ++row) {
+                   float* orow = out + row * cols;
+                   const std::int64_t xo = row % ow;
+                   const std::int64_t yo = (row / ow) % oh;
+                   const std::int64_t ni = row / (ow * oh);
+                   // Clip the tap window once per row so the copy loops are
+                   // branch-free (out-of-image taps stay at the fill's 0).
+                   const std::int64_t x0 = xo * stride - pad;
+                   const std::int64_t y0 = yo * stride - pad;
+                   const std::int64_t kx_lo = std::max<std::int64_t>(0, -x0);
+                   const std::int64_t kx_hi = std::min(kw, w - x0);
+                   const std::int64_t ky_lo = std::max<std::int64_t>(0, -y0);
+                   const std::int64_t ky_hi = std::min(kh, h - y0);
+                   for (std::int64_t ci = 0; ci < c; ++ci) {
+                     const float* xplane = x + (ni * c + ci) * h * w;
+                     for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+                       const float* xrow = xplane + (y0 + ky) * w + x0;
+                       float* opatch = orow + (ci * kh + ky) * kw;
+                       for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx) {
+                         opatch[kx] = xrow[kx];
+                       }
+                     }
+                   }
+                 }
+               });
+}
+
+void col2im(const float* cols_data, std::int64_t n, std::int64_t c,
+            std::int64_t h, std::int64_t w, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* gx) {
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  const std::int64_t cols = c * kh * kw;
+  // Overlapping patches within one image write the same gx pixels, so the
+  // batch index is the only safe parallel dimension.
+  for_each_index(
+      n,
+      [=](std::int64_t ni) {
+        for (std::int64_t yo = 0; yo < oh; ++yo) {
+          for (std::int64_t xo = 0; xo < ow; ++xo) {
+            const std::int64_t row = (ni * oh + yo) * ow + xo;
+            const float* crow = cols_data + row * cols;
+            const std::int64_t x0 = xo * stride - pad;
+            const std::int64_t y0 = yo * stride - pad;
+            const std::int64_t kx_lo = std::max<std::int64_t>(0, -x0);
+            const std::int64_t kx_hi = std::min(kw, w - x0);
+            const std::int64_t ky_lo = std::max<std::int64_t>(0, -y0);
+            const std::int64_t ky_hi = std::min(kh, h - y0);
+            for (std::int64_t ci = 0; ci < c; ++ci) {
+              float* gplane = gx + (ni * c + ci) * h * w;
+              for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+                float* grow = gplane + (y0 + ky) * w + x0;
+                const float* cpatch = crow + (ci * kh + ky) * kw;
+                for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx) {
+                  grow[kx] += cpatch[kx];
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+double reduce_sum(const float* a, std::size_t n) {
+  constexpr std::int64_t kBlock = 8192;
+  const std::int64_t total = static_cast<std::int64_t>(n);
+  if (total <= kBlock) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < total; ++i) acc += a[i];
+    return acc;
+  }
+  const std::int64_t blocks = (total + kBlock - 1) / kBlock;
+  std::vector<double> partial(static_cast<std::size_t>(blocks), 0.0);
+  parallel_for(blocks, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t bi = b0; bi < b1; ++bi) {
+      const std::int64_t lo = bi * kBlock;
+      const std::int64_t hi = std::min(lo + kBlock, total);
+      double acc = 0.0;
+      for (std::int64_t i = lo; i < hi; ++i) acc += a[i];
+      partial[static_cast<std::size_t>(bi)] = acc;
+    }
+  });
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
+}
+
+}  // namespace adept::backend

@@ -1,0 +1,90 @@
+// Dense kernel layer shared by the autograd ops and the photonic linear
+// algebra: cache-blocked threaded GEMM with logical transpose variants, fused
+// elementwise map/zip kernels, deterministic reductions, and im2col/col2im
+// for the CNN proxy.
+//
+// Every kernel partitions work over disjoint output ranges with chunk
+// boundaries that depend only on the problem size (see parallel.h), so
+// results are bit-exact across thread counts.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+#include "backend/parallel.h"
+
+namespace adept::backend {
+
+// Logical operand layout for gemm: N uses the array as stored, T applies a
+// transpose through the index map — the data is never copied into a
+// materialized transpose visible to the caller.
+enum class Trans { N, T };
+
+// C = alpha * op(A) @ op(B) + beta * C, all row-major. op(A) is [m, k],
+// op(B) is [k, n], C is [m, n]. `lda`/`ldb`/`ldc` are the physical row
+// strides of the stored arrays (for a Trans::T operand the stride of the
+// array as laid out in memory, not of its logical view).
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          double alpha, const double* a, std::int64_t lda, const double* b,
+          std::int64_t ldb, double beta, double* c, std::int64_t ldc);
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          std::complex<double> alpha, const std::complex<double>* a,
+          std::int64_t lda, const std::complex<double>* b, std::int64_t ldb,
+          std::complex<double> beta, std::complex<double>* c, std::int64_t ldc);
+
+// Patch extraction for NCHW conv-as-gemm. `out` is [n*oh*ow, c*kh*kw] with
+// oh = (h + 2*pad - kh)/stride + 1 (ow analogous); out-of-image taps are 0.
+void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* out);
+
+// Adjoint of im2col: scatters `cols` (same layout as im2col's output) back
+// into the image, *accumulating* into gx (callers pass a gradient buffer).
+void col2im(const float* cols, std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* gx);
+
+// Deterministic sum: fixed 8192-element blocks accumulated in double, block
+// partials combined in index order — identical bits for any thread count.
+double reduce_sum(const float* a, std::size_t n);
+
+namespace detail {
+constexpr std::int64_t kElemGrain = 1 << 14;  // elementwise chunk size
+}
+
+// Fused elementwise kernels. The functor is applied per element; chunks of
+// kElemGrain indices run across threads.
+
+// out[i] = f(a[i])
+template <typename F>
+inline void map(std::size_t n, const float* a, float* out, F f) {
+  parallel_for(static_cast<std::int64_t>(n), detail::kElemGrain,
+               [=](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) out[i] = f(a[i]);
+               });
+}
+
+// out[i] = f(a[i], b[i])
+template <typename F>
+inline void zip(std::size_t n, const float* a, const float* b, float* out, F f) {
+  parallel_for(static_cast<std::int64_t>(n), detail::kElemGrain,
+               [=](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i]);
+               });
+}
+
+// f(i) for i in [0, n); f must only touch state indexed by i (or otherwise
+// disjoint per index). `grain` tunes chunking for heavier bodies.
+template <typename F>
+inline void for_each_index(std::int64_t n, F f,
+                           std::int64_t grain = detail::kElemGrain) {
+  parallel_for(n, grain, [=](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) f(i);
+  });
+}
+
+}  // namespace adept::backend

@@ -1,7 +1,13 @@
-// Environment-variable overrides for benchmark scale.
+// Environment-variable overrides for benchmark scale and runtime knobs.
 //
 // Benches run at a reduced scale by default so the full suite finishes in
 // minutes on a laptop; ADEPT_BENCH_* variables scale them toward paper scale.
+//
+// Runtime knobs consumed elsewhere through env_int():
+//   ADEPT_NUM_THREADS   worker count for the src/backend kernel layer
+//                       (default: hardware concurrency; 1 = serial fallback —
+//                       backend results are bit-exact across thread counts,
+//                       see backend/parallel.h).
 #pragma once
 
 #include <string>

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/kernels.h"
+
 namespace adept::photonics {
+
+namespace be = ::adept::backend;
 
 CMat CMat::identity(std::int64_t n) {
   CMat m(n, n);
@@ -15,15 +19,9 @@ CMat CMat::identity(std::int64_t n) {
 CMat CMat::operator*(const CMat& rhs) const {
   if (cols_ != rhs.rows_) throw std::invalid_argument("CMat multiply: dim mismatch");
   CMat out(rows_, rhs.cols_);
-  for (std::int64_t i = 0; i < rows_; ++i) {
-    for (std::int64_t k = 0; k < cols_; ++k) {
-      const cplx a = at(i, k);
-      if (a == cplx(0.0, 0.0)) continue;
-      for (std::int64_t j = 0; j < rhs.cols_; ++j) {
-        out.at(i, j) += a * rhs.at(k, j);
-      }
-    }
-  }
+  be::gemm(be::Trans::N, be::Trans::N, rows_, rhs.cols_, cols_, cplx(1.0, 0.0),
+           data_.data(), cols_, rhs.data_.data(), rhs.cols_, cplx(0.0, 0.0),
+           out.data_.data(), rhs.cols_);
   return out;
 }
 
@@ -79,13 +77,9 @@ RMat RMat::identity(std::int64_t n) {
 RMat RMat::operator*(const RMat& rhs) const {
   if (cols_ != rhs.rows_) throw std::invalid_argument("RMat multiply: dim mismatch");
   RMat out(rows_, rhs.cols_);
-  for (std::int64_t i = 0; i < rows_; ++i) {
-    for (std::int64_t k = 0; k < cols_; ++k) {
-      const double a = at(i, k);
-      if (a == 0.0) continue;
-      for (std::int64_t j = 0; j < rhs.cols_; ++j) out.at(i, j) += a * rhs.at(k, j);
-    }
-  }
+  be::gemm(be::Trans::N, be::Trans::N, rows_, rhs.cols_, cols_, 1.0,
+           data_.data(), cols_, rhs.data_.data(), rhs.cols_, 0.0,
+           out.data_.data(), rhs.cols_);
   return out;
 }
 
