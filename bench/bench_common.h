@@ -165,6 +165,30 @@ double time_best(Fn&& fn, int reps = 5, double min_sample_s = 0.02) {
   return best;
 }
 
+// Wall-clock seconds of a single run of `fn()` — for the end-to-end search
+// and training phases of the `--json` reports, which are far too slow for
+// best-of-N repetition and are reported as coarse trajectory numbers.
+template <typename Fn>
+double time_once(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Reduced problem sizes for the end-to-end `--json` reports (CI runs them on
+// every push): env overrides still apply, but the defaults are minutes
+// smaller than the interactive reproduction scale.
+inline BenchScale json_scale() {
+  BenchScale s;
+  s.train_n = env_int("ADEPT_BENCH_TRAIN", 96);
+  s.test_n = env_int("ADEPT_BENCH_TEST", 64);
+  s.retrain_epochs = env_int("ADEPT_BENCH_EPOCHS", 1);
+  s.search_epochs = env_int("ADEPT_BENCH_SEARCH_EPOCHS", 2);
+  s.cnn_width = env_int("ADEPT_BENCH_WIDTH", 4);
+  s.batch = env_int("ADEPT_BENCH_BATCH", 24);
+  return s;
+}
+
 // Shared `--json [path]` dispatch: returns true (and fills `path`) when the
 // bench should emit a JSON report instead of running google-benchmark.
 inline bool parse_json_flag(int argc, char** argv, const std::string& def_path,

@@ -7,6 +7,7 @@
 // ADEPT designs stay flat or degrade gently.
 #include <cmath>
 
+#include "backend/parallel.h"
 #include "bench_common.h"
 #include "nn/variation.h"
 
@@ -36,9 +37,73 @@ NoisyEval eval_under_noise(nn::OnnModel& model, const data::SyntheticDataset& te
   return {mean, 3.0 * std::sqrt(var)};
 }
 
+// --json mode: end-to-end timings of the Fig. 4 pipeline phases (search,
+// variation-aware retraining, noisy evaluation) at reduced scale, for the
+// perf trajectory. Schema in bench/README.md.
+int run_json_report(const std::string& path) {
+  namespace be = adept::backend;
+  const BenchScale scale = adept::bench::json_scale();
+  const int runs = adept::env_int("ADEPT_BENCH_NOISE_RUNS", 2);
+  const int k = 16;
+  const ph::Pdk pdk = ph::Pdk::amf();
+  const auto spec = data::DatasetSpec::mnist_like();
+  data::SyntheticDataset train(spec, scale.train_n, 1);
+  data::SyntheticDataset val(spec, scale.test_n, 2);
+  data::SyntheticDataset test(spec, scale.test_n, 6);
+
+  adept::bench::JsonReport report("fig4");
+  adept::core::SearchResult searched;
+  const double search_s = adept::bench::time_once([&] {
+    searched = adept::bench::run_search(k, pdk, 672, 840, scale, train, val, 71);
+  });
+  report.add({"search",
+              {{"size", static_cast<double>(k)},
+               {"wall_s", search_s},
+               {"epochs", static_cast<double>(scale.search_epochs)},
+               {"footprint", searched.topology.footprint_um2(pdk) / 1000.0}}});
+
+  auto topo = std::make_shared<ph::PtcTopology>(searched.topology);
+  adept::Rng rng(91);
+  nn::OnnModel model = nn::make_proxy_cnn(1, spec.height, 10,
+                                          nn::PtcBinding::fixed(topo), rng,
+                                          scale.cnn_width);
+  nn::TrainConfig config;
+  config.epochs = scale.retrain_epochs;
+  config.batch_size = scale.batch;
+  config.train_phase_noise = 0.02;  // variation-aware training
+  nn::TrainStats stats;
+  const double retrain_s = adept::bench::time_once(
+      [&] { stats = nn::train_classifier(model, train, test, config); });
+  report.add({"retrain_noise_aware",
+              {{"size", static_cast<double>(k)},
+               {"wall_s", retrain_s},
+               {"epochs", static_cast<double>(scale.retrain_epochs)},
+               {"accuracy", stats.final_accuracy}}});
+
+  NoisyEval noisy{};
+  const double eval_s = adept::bench::time_once(
+      [&] { noisy = eval_under_noise(model, test, 0.06, runs); });
+  report.add({"noisy_eval",
+              {{"size", static_cast<double>(k)},
+               {"wall_s", eval_s},
+               {"runs", static_cast<double>(runs)},
+               {"mean_accuracy", noisy.mean}}});
+
+  if (!report.write(path, be::num_threads())) {
+    std::cerr << "bench_fig4: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (threads=" << be::num_threads() << ")\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (adept::bench::parse_json_flag(argc, argv, "BENCH_fig4.json", &json_path)) {
+    return run_json_report(json_path);
+  }
   BenchScale scale = BenchScale::from_env();
   scale.train_n = adept::env_int("ADEPT_BENCH_TRAIN", adept::bench_full_scale() ? 4096 : 288);
   const int runs = adept::env_int("ADEPT_BENCH_NOISE_RUNS",

@@ -59,10 +59,12 @@ int main() {
         select_sum = ag::add(select_sum, ag::index(m, 1));
       }
       loss = ag::sub(loss, ag::mul_scalar(select_sum, 0.05f));
+      // Read E[F] before the step so it reflects the same parameters as the
+      // penalty (and hits the block-count cache filled above).
+      expected = mesh.expected_footprint(footprint.pdk);
       opt.zero_grad();
       loss.backward();
       opt.step();
-      expected = mesh.expected_footprint(footprint.pdk);
       if (step % (steps / 4) == 0) checkpoints.push_back(expected);
     }
     while (checkpoints.size() < 4) checkpoints.push_back(expected);

@@ -290,6 +290,135 @@ adept::bench::JsonRecord gemm_bt_record(std::int64_t n) {
   return make_record("gemm_f32_bt", static_cast<double>(n), flops, t_naive, t);
 }
 
+// The seed's cmatmul lowering: four naive real matmuls + two elementwise
+// combines into freshly allocated planes.
+void naive_cmatmul(const float* ar, const float* ai, const float* br,
+                   const float* bi, float* cr, float* ci, std::int64_t n,
+                   std::vector<float>& t1, std::vector<float>& t2) {
+  naive_matmul(ar, br, cr, n, n, n);
+  naive_matmul(ai, bi, t1.data(), n, n, n);
+  naive_matmul(ar, bi, ci, n, n, n);
+  naive_matmul(ai, br, t2.data(), n, n, n);
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    cr[i] -= t1[static_cast<std::size_t>(i)];
+    ci[i] += t2[static_cast<std::size_t>(i)];
+  }
+}
+
+adept::bench::JsonRecord cgemm_record(std::int64_t n) {
+  adept::Rng rng(5);
+  const std::size_t nn = static_cast<std::size_t>(n * n);
+  std::vector<float> ar(nn), ai(nn), br(nn), bi(nn), cr(nn), ci(nn), t1(nn), t2(nn);
+  for (auto* v : {&ar, &ai, &br, &bi}) {
+    for (auto& x : *v) x = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const double flops = 8.0 * static_cast<double>(n) * n * n;
+  const double t_naive = adept::bench::time_best([&] {
+    naive_cmatmul(ar.data(), ai.data(), br.data(), bi.data(), cr.data(),
+                  ci.data(), n, t1, t2);
+  });
+  const auto t = time_backend([&] {
+    be::cgemm(be::CTrans::N, be::CTrans::N, n, n, n, ar.data(), ai.data(), n,
+              br.data(), bi.data(), n, 0.0f, cr.data(), ci.data(), n);
+  });
+  return make_record("cgemm_f32", static_cast<double>(n), flops, t_naive, t);
+}
+
+adept::bench::JsonRecord gemm_batched_record() {
+  // Trainer-shaped stack: 24 mini-batches of [16, 256] against a shared
+  // [256, 10] classifier head.
+  const std::int64_t batch = 24, m = 16, k = 256, n = 10;
+  adept::Rng rng(6);
+  std::vector<float> a(static_cast<std::size_t>(batch * m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(batch * m * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  const double flops = 2.0 * static_cast<double>(batch) * m * k * n;
+  // Baseline: one naive 2-D matmul dispatch per mini-batch (the pre-port
+  // trainer pattern).
+  const double t_naive = adept::bench::time_best([&] {
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      naive_matmul(a.data() + bi * m * k, b.data(), c.data() + bi * m * n, m,
+                   k, n);
+    }
+  });
+  const auto t = time_backend([&] {
+    be::gemm_batched(batch, m, n, k, a.data(), m * k, k, be::Trans::N,
+                     b.data(), n, 0.0f, c.data(), m * n, n);
+  });
+  return make_record("gemm_f32_batched", static_cast<double>(batch), flops,
+                     t_naive, t);
+}
+
+// Acceptance micro-bench: forward+backward through a B-block complex block
+// chain at K=32 — the tile_unitary hot loop. Baseline is the seed's
+// composition (phase_column + 4-real-gemm cmatmul + dense P matmuls +
+// cscale/cadd mixing); backend is the fused block_transfer/cmix/cmatmul
+// path. `*_gflops` fields report chain iterations per second.
+adept::bench::JsonRecord cchain_record(std::int64_t k, int blocks) {
+  adept::Rng rng(7);
+  std::vector<ag::Tensor> p, phi, skip, sel;
+  std::vector<ag::CxTensor> t;
+  for (int b = 0; b < blocks; ++b) {
+    p.push_back(random_tensor({k, k}, rng, true));
+    t.push_back({random_tensor({k, k}, rng, true), random_tensor({k, k}, rng, true)});
+    phi.push_back(random_tensor({k}, rng, true));
+    skip.push_back(ag::Tensor::scalar(0.3f, true));
+    sel.push_back(ag::Tensor::scalar(0.7f, true));
+  }
+  auto zero_all = [&] {
+    for (auto& v : p) v.zero_grad();
+    for (auto& v : phi) v.zero_grad();
+    for (auto& v : skip) v.zero_grad();
+    for (auto& v : sel) v.zero_grad();
+    for (auto& v : t) {
+      v.re.zero_grad();
+      v.im.zero_grad();
+    }
+  };
+  auto head = [](const ag::CxTensor& acc) {
+    return ag::add(ag::sum(ag::square(acc.re)), ag::sum(ag::square(acc.im)));
+  };
+  auto run_baseline = [&] {
+    ag::CxTensor acc = ag::CxTensor::eye(k);
+    ag::CxTensor eye = ag::CxTensor::eye(k);
+    for (int b = 0; b < blocks; ++b) {
+      ag::CxTensor r = ag::phase_column(phi[static_cast<std::size_t>(b)]);
+      ag::CxTensor tr = ag::cmatmul_unfused(t[static_cast<std::size_t>(b)], r);
+      ag::CxTensor block = {ag::matmul(p[static_cast<std::size_t>(b)], tr.re),
+                            ag::matmul(p[static_cast<std::size_t>(b)], tr.im)};
+      ag::CxTensor mixed =
+          ag::cadd(ag::cscale(eye, skip[static_cast<std::size_t>(b)]),
+                   ag::cscale(block, sel[static_cast<std::size_t>(b)]));
+      acc = ag::cmatmul_unfused(mixed, acc);
+    }
+    head(acc).backward();
+    zero_all();
+  };
+  auto run_fused = [&] {
+    ag::CxTensor acc = ag::CxTensor::eye(k);
+    for (int b = 0; b < blocks; ++b) {
+      ag::CxTensor block =
+          ag::block_transfer(p[static_cast<std::size_t>(b)],
+                             t[static_cast<std::size_t>(b)],
+                             phi[static_cast<std::size_t>(b)]);
+      ag::CxTensor mixed = ag::cmix_identity(skip[static_cast<std::size_t>(b)],
+                                             sel[static_cast<std::size_t>(b)], block);
+      acc = ag::cmatmul(mixed, acc);
+    }
+    head(acc).backward();
+    zero_all();
+  };
+  double t_naive;
+  {
+    be::ThreadScope one(1);
+    t_naive = adept::bench::time_best(run_baseline);
+  }
+  const auto t_f = time_backend(run_fused);
+  return make_record("cchain_fwdbwd", static_cast<double>(k), 1.0, t_naive, t_f);
+}
+
 adept::bench::JsonRecord map_record(std::size_t n) {
   adept::Rng rng(3);
   std::vector<float> a(n), out(n);
@@ -351,6 +480,9 @@ int run_json_report(const std::string& path) {
   adept::bench::JsonReport report("kernels");
   for (std::int64_t n : {64, 128, 256}) report.add(gemm_record(n));
   for (std::int64_t n : {64, 128, 256}) report.add(gemm_bt_record(n));
+  for (std::int64_t n : {16, 32, 64}) report.add(cgemm_record(n));
+  report.add(gemm_batched_record());
+  report.add(cchain_record(32, 4));
   report.add(map_record(1u << 20));
   report.add(im2col_record());
   if (!report.write(path, be::num_threads())) {

@@ -8,6 +8,7 @@
 // with competitive accuracy.
 //
 // Default sizes: 8 and 16 (32 with ADEPT_BENCH_FULL=1 or ADEPT_BENCH_K32=1).
+#include "backend/parallel.h"
 #include "bench_common.h"
 
 namespace ph = adept::photonics;
@@ -52,9 +53,59 @@ const PaperSize kPaper[] = {
       {2496, 3120, 2926, 98.39, "717/179/12"}}},
 };
 
+// --json mode: end-to-end search + retrain wall time per PTC size at
+// reduced scale, for the perf trajectory. Schema in bench/README.md.
+int run_json_report(const std::string& path) {
+  namespace be = adept::backend;
+  const BenchScale scale = adept::bench::json_scale();
+  const ph::Pdk pdk = ph::Pdk::amf();
+  const auto spec = adept::data::DatasetSpec::mnist_like();
+  adept::data::SyntheticDataset train(spec, scale.train_n, 1);
+  adept::data::SyntheticDataset val(spec, scale.test_n, 2);
+  adept::data::SyntheticDataset test(spec, scale.test_n, 3);
+
+  adept::bench::JsonReport report("table1");
+  for (const auto& paper : kPaper) {
+    if (paper.k == 32) continue;  // CPU-minutes; tracked at full scale only
+    const auto& band = paper.adept[1];  // a2: mid-range footprint budget
+    adept::core::SearchResult result;
+    const double search_s = adept::bench::time_once([&] {
+      result = adept::bench::run_search(
+          paper.k, pdk, band.f_min, band.f_max, scale, train, val,
+          static_cast<std::uint64_t>(paper.k * 10 + 1));
+    });
+    double acc = 0.0;
+    const double retrain_s = adept::bench::time_once([&] {
+      acc = adept::bench::retrain_accuracy(result.topology, train, test, scale,
+                                           201);
+    });
+    const std::string suffix = "_k" + std::to_string(paper.k);
+    report.add({"search" + suffix,
+                {{"size", static_cast<double>(paper.k)},
+                 {"wall_s", search_s},
+                 {"epochs", static_cast<double>(scale.search_epochs)},
+                 {"footprint", result.topology.footprint_um2(pdk) / 1000.0}}});
+    report.add({"retrain" + suffix,
+                {{"size", static_cast<double>(paper.k)},
+                 {"wall_s", retrain_s},
+                 {"epochs", static_cast<double>(scale.retrain_epochs)},
+                 {"accuracy", acc}}});
+  }
+  if (!report.write(path, be::num_threads())) {
+    std::cerr << "bench_table1: cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " (threads=" << be::num_threads() << ")\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (adept::bench::parse_json_flag(argc, argv, "BENCH_table1.json", &json_path)) {
+    return run_json_report(json_path);
+  }
   const BenchScale scale = BenchScale::from_env();
   const ph::Pdk pdk = ph::Pdk::amf();
   const auto spec = adept::data::DatasetSpec::mnist_like();

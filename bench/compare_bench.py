@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files from the perf trajectory.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+
+Prints a per-record table of the primary metric (backend_serial_gflops for
+kernel records, wall_s for end-to-end records) with the current/baseline
+ratio, and flags regressions beyond 10%. Always exits 0 — the CI step that
+runs this is informational, not blocking (runner hardware varies).
+"""
+import json
+import sys
+
+
+def key(rec):
+    return (rec["name"], rec.get("size"))
+
+
+def primary_metric(rec):
+    if "backend_serial_gflops" in rec:
+        return "backend_serial_gflops", rec["backend_serial_gflops"], True
+    if "wall_s" in rec:
+        return "wall_s", rec["wall_s"], False
+    return None, None, True
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 0
+    with open(sys.argv[1]) as f:
+        base = json.load(f)
+    with open(sys.argv[2]) as f:
+        cur = json.load(f)
+    base_by_key = {key(r): r for r in base.get("results", [])}
+    rows = []
+    for rec in cur.get("results", []):
+        metric, cur_v, higher_better = primary_metric(rec)
+        if metric is None:
+            continue
+        b = base_by_key.get(key(rec))
+        if b is None or metric not in b or not b[metric]:
+            rows.append((rec["name"], rec.get("size"), metric, None, cur_v, None, ""))
+            continue
+        base_v = b[metric]
+        ratio = cur_v / base_v if higher_better else base_v / cur_v
+        flag = ""
+        if ratio < 0.9:
+            flag = "REGRESSION"
+        elif ratio > 1.1:
+            flag = "improved"
+        rows.append((rec["name"], rec.get("size"), metric, base_v, cur_v, ratio, flag))
+
+    name_w = max([len(r[0]) for r in rows] + [6])
+    print(f"{'record':<{name_w}} {'size':>8} {'metric':<24} "
+          f"{'baseline':>12} {'current':>12} {'speedup':>8}")
+    for name, size, metric, base_v, cur_v, ratio, flag in rows:
+        size_s = f"{size:g}" if size is not None else "-"
+        base_s = f"{base_v:.4g}" if base_v is not None else "-"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "-"
+        print(f"{name:<{name_w}} {size_s:>8} {metric:<24} "
+              f"{base_s:>12} {cur_v:>12.4g} {ratio_s:>8} {flag}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,17 @@
 //
 // Photonic transfer matrices are complex-valued; representing them as two
 // real tensors lets a single real-valued tape differentiate through complex
-// matrix chains (a complex matmul lowers to four real matmuls). Gradients are
-// the standard real-pair gradients, i.e. dL/d(re) and dL/d(im) independently,
-// which is exactly what training a real-valued loss requires.
+// matrix chains. Gradients are the standard real-pair gradients, i.e.
+// dL/d(re) and dL/d(im) independently, which is exactly what training a
+// real-valued loss requires.
+//
+// The matrix/chain ops are *fused*: `cmatmul` lowers to one backend `cgemm`
+// tape node (a packed [2,N,M] grad-routing node plus two plane views, not
+// four real matmuls and two combines), and its backward is two
+// conjugate-transpose cgemms (dA = G B^H, dB = A^H G). `block_transfer`
+// folds a whole photonic block P~ @ T @ R(Phi) into one node whose forward
+// is a single real-by-complex gemm with the diagonal phase column applied as
+// a column scaling in the kernel epilogue.
 #pragma once
 
 #include "autograd/ops.h"
@@ -27,11 +35,18 @@ struct CxTensor {
 };
 
 // (a+bi)(c+di) = (ac-bd) + (ad+bc)i, elementwise with broadcasting.
+// Same-shape operands run through the fused planar kernel (2 tape nodes);
+// broadcast shapes fall back to the real-op composition.
 CxTensor cmul(const CxTensor& a, const CxTensor& b);
 CxTensor cadd(const CxTensor& a, const CxTensor& b);
 CxTensor csub(const CxTensor& a, const CxTensor& b);
-// Complex matrix product via four real matmuls.
+// Fused complex matrix product: one cgemm forward, two conjugate-transpose
+// cgemms backward. Creates exactly one compute node on the tape (shared by
+// the re/im plane views).
 CxTensor cmatmul(const CxTensor& a, const CxTensor& b);
+// The pre-fusion lowering (four real matmuls + two combines, 6 tape nodes).
+// Kept as the reference/baseline for tests and the perf-trajectory bench.
+CxTensor cmatmul_unfused(const CxTensor& a, const CxTensor& b);
 // Multiply by a real tensor (broadcasting follows ops.h rules).
 CxTensor cscale(const CxTensor& a, const Tensor& s);
 CxTensor cscale(const CxTensor& a, float s);
@@ -47,6 +62,25 @@ CxTensor cexp_neg_i(const Tensor& phi);
 
 // Diagonal phase-shifter column R(Phi) = diag(exp(-i*phi_k)) as [K,K].
 CxTensor phase_column(const Tensor& phi);
+
+// Column phase scaling: out[:, j] = a[:, j] * exp(-i*phi_j), i.e. A @ R(Phi)
+// without materializing the diagonal or running a matmul. `phi` holds one
+// phase per column ([M] or [1,M]).
+CxTensor colphase_scale(const CxTensor& a, const Tensor& phi);
+
+// Fused photonic block transfer P~ @ T @ R(Phi) (paper Eq. 2/6): `p` is the
+// real [K,K] (relaxed) permutation, `t` the complex coupler column, `phi`
+// the K phases. Forward is one real-by-complex gemm with the phase column
+// applied in the kernel epilogue; backward is two real gemm pairs plus the
+// analytic phase gradient — one compute node instead of the
+// phase_column + cmatmul + 2 real matmuls composition.
+CxTensor block_transfer(const Tensor& p, const CxTensor& t, const Tensor& phi);
+
+// Gumbel-mix against the identity (paper Eq. 6): skip * I + select * block,
+// with `skip`/`select` scalar [1] tensors. Two tape nodes; no materialized
+// identity or scaled intermediates.
+CxTensor cmix_identity(const Tensor& skip, const Tensor& select,
+                       const CxTensor& block);
 
 // Directional-coupler column transfer matrix T_b as [K,K] (paper Sec. 3.2).
 //

@@ -19,19 +19,22 @@ Bcast classify(const Tensor& a, const Tensor& b) {
   if (a.shape() == b.shape()) return Bcast::same;
   if (b.numel() == 1) return Bcast::b_scalar;
   if (a.numel() == 1) return Bcast::a_scalar;
-  if (a.ndim() == 2 && (b.ndim() == 1 || b.ndim() == 2)) {
-    const std::int64_t n = a.dim(0), m = a.dim(1);
+  // Row broadcast treats any >= 2-D tensor as [numel/m, m] over its last
+  // dim (covers the [B,N,M] + [1,M] bias add of batched matmul); column
+  // broadcast stays strictly 2-D.
+  if (a.ndim() >= 2 && (b.ndim() == 1 || b.ndim() == 2)) {
+    const std::int64_t m = a.dim(a.ndim() - 1);
     const std::int64_t bn = b.ndim() == 2 ? b.dim(0) : 1;
     const std::int64_t bm = b.ndim() == 2 ? b.dim(1) : b.dim(0);
     if (bn == 1 && bm == m) return Bcast::b_row;
-    if (bn == n && bm == 1) return Bcast::b_col;
+    if (a.ndim() == 2 && bn == a.dim(0) && bm == 1) return Bcast::b_col;
   }
-  if (b.ndim() == 2 && (a.ndim() == 1 || a.ndim() == 2)) {
-    const std::int64_t n = b.dim(0), m = b.dim(1);
+  if (b.ndim() >= 2 && (a.ndim() == 1 || a.ndim() == 2)) {
+    const std::int64_t m = b.dim(b.ndim() - 1);
     const std::int64_t an = a.ndim() == 2 ? a.dim(0) : 1;
     const std::int64_t am = a.ndim() == 2 ? a.dim(1) : a.dim(0);
     if (an == 1 && am == m) return Bcast::a_row;
-    if (an == n && am == 1) return Bcast::a_col;
+    if (b.ndim() == 2 && an == b.dim(0) && am == 1) return Bcast::a_col;
   }
   check(false, "binary op: unsupported broadcast");
   return Bcast::same;  // unreachable
@@ -63,7 +66,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
   const bool a_is_bcast =
       kind == Bcast::a_scalar || kind == Bcast::a_row || kind == Bcast::a_col;
   const Tensor& big = a_is_bcast ? b : a;
-  const std::int64_t m = big.ndim() == 2 ? big.dim(1) : big.numel();
+  const std::int64_t m =
+      big.ndim() >= 2 ? big.dim(big.ndim() - 1) : big.numel();
 
   const auto& ad = a.data();
   const auto& bd = b.data();
@@ -303,6 +307,33 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                o.grad.data(), m, 1.0f, gb.data(), m);
     }
   });
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  check(a.ndim() == 3 && b.ndim() == 2, "bmm: expects [B,N,K] x [K,M]");
+  const std::int64_t bt = a.dim(0), n = a.dim(1), k = a.dim(2), m = b.dim(1);
+  check(b.dim(0) == k, "bmm: inner dims mismatch");
+  std::vector<float> out(static_cast<std::size_t>(bt * n * m));
+  be::gemm_batched(bt, n, m, k, a.data().data(), n * k, k, be::Trans::N,
+                   b.data().data(), m, 0.0f, out.data(), n * m, m);
+  return make_op(std::move(out), {bt, n, m}, {a, b},
+                 [a, b, bt, n, k, m](TensorImpl& o) {
+                   if (a.requires_grad()) {
+                     // dA[i] += dO[i] @ B^T, all batches through one call.
+                     auto& ga = const_cast<Tensor&>(a).grad();
+                     be::gemm_batched(bt, n, k, m, o.grad.data(), n * m, m,
+                                      be::Trans::T, b.data().data(), m, 1.0f,
+                                      ga.data(), n * k, k);
+                   }
+                   if (b.requires_grad()) {
+                     // dB += sum_i A[i]^T dO[i] == flatten(A)^T @ flatten(dO):
+                     // contiguous batches collapse into one [B*N,K]^T gemm.
+                     auto& gb = const_cast<Tensor&>(b).grad();
+                     be::gemm(be::Trans::T, be::Trans::N, k, m, bt * n, 1.0f,
+                              a.data().data(), k, o.grad.data(), m, 1.0f,
+                              gb.data(), m);
+                   }
+                 });
 }
 
 Tensor transpose(const Tensor& a) {
@@ -709,47 +740,58 @@ Tensor adaptive_avgpool2d(const Tensor& x, std::int64_t out_h, std::int64_t out_
     return ((o + 1) * in + out - 1) / out;
   };
   std::vector<float> out(static_cast<std::size_t>(n * c * out_h * out_w), 0.0f);
-  const auto& xd = x.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t ci = 0; ci < c; ++ci) {
-      for (std::int64_t yo = 0; yo < out_h; ++yo) {
-        const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
-        for (std::int64_t xo = 0; xo < out_w; ++xo) {
-          const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
-          double acc = 0.0;
-          for (std::int64_t yi = y0; yi < y1; ++yi) {
-            for (std::int64_t xi = x0; xi < x1; ++xi) {
-              acc += xd[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)];
+  // Each (n, c) slice owns disjoint input/output planes, so the slice index
+  // is the parallel dimension for both directions.
+  {
+    const float* xp = x.data().data();
+    float* op = out.data();
+    be::for_each_index(
+        n * c,
+        [=](std::int64_t slice) {
+          const float* xplane = xp + slice * h * w;
+          float* oplane = op + slice * out_h * out_w;
+          for (std::int64_t yo = 0; yo < out_h; ++yo) {
+            const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
+            for (std::int64_t xo = 0; xo < out_w; ++xo) {
+              const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
+              double acc = 0.0;
+              for (std::int64_t yi = y0; yi < y1; ++yi) {
+                for (std::int64_t xi = x0; xi < x1; ++xi) {
+                  acc += xplane[yi * w + xi];
+                }
+              }
+              oplane[yo * out_w + xo] =
+                  static_cast<float>(acc / static_cast<double>((y1 - y0) * (x1 - x0)));
             }
           }
-          out[static_cast<std::size_t>(((ni * c + ci) * out_h + yo) * out_w + xo)] =
-              static_cast<float>(acc / static_cast<double>((y1 - y0) * (x1 - x0)));
-        }
-      }
-    }
+        },
+        /*grain=*/1);
   }
   return make_op(std::move(out), {n, c, out_h, out_w}, {x},
                  [x, n, c, h, w, out_h, out_w, bin_start, bin_end](TensorImpl& o) {
                    if (!x.requires_grad()) return;
-                   auto& gx = const_cast<Tensor&>(x).grad();
-                   for (std::int64_t ni = 0; ni < n; ++ni) {
-                     for (std::int64_t ci = 0; ci < c; ++ci) {
-                       for (std::int64_t yo = 0; yo < out_h; ++yo) {
-                         const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
-                         for (std::int64_t xo = 0; xo < out_w; ++xo) {
-                           const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
-                           const float g = o.grad[static_cast<std::size_t>(
-                                               ((ni * c + ci) * out_h + yo) * out_w + xo)] /
-                                           static_cast<float>((y1 - y0) * (x1 - x0));
-                           for (std::int64_t yi = y0; yi < y1; ++yi) {
-                             for (std::int64_t xi = x0; xi < x1; ++xi) {
-                               gx[static_cast<std::size_t>(((ni * c + ci) * h + yi) * w + xi)] += g;
+                   float* gxp = const_cast<Tensor&>(x).grad().data();
+                   const float* gp = o.grad.data();
+                   be::for_each_index(
+                       n * c,
+                       [=](std::int64_t slice) {
+                         float* gplane = gxp + slice * h * w;
+                         const float* goplane = gp + slice * out_h * out_w;
+                         for (std::int64_t yo = 0; yo < out_h; ++yo) {
+                           const std::int64_t y0 = bin_start(yo, h, out_h), y1 = bin_end(yo, h, out_h);
+                           for (std::int64_t xo = 0; xo < out_w; ++xo) {
+                             const std::int64_t x0 = bin_start(xo, w, out_w), x1 = bin_end(xo, w, out_w);
+                             const float g = goplane[yo * out_w + xo] /
+                                             static_cast<float>((y1 - y0) * (x1 - x0));
+                             for (std::int64_t yi = y0; yi < y1; ++yi) {
+                               for (std::int64_t xi = x0; xi < x1; ++xi) {
+                                 gplane[yi * w + xi] += g;
+                               }
                              }
                            }
                          }
-                       }
-                     }
-                   }
+                       },
+                       /*grain=*/1);
                  });
 }
 
@@ -759,39 +801,57 @@ Tensor maxpool2d(const Tensor& x, std::int64_t k, std::int64_t stride) {
   const std::int64_t oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
   check(oh > 0 && ow > 0, "maxpool2d: output empty");
   std::vector<float> out(static_cast<std::size_t>(n * c * oh * ow));
+  // Winner indices cached for the backward scatter (no re-scan of windows).
   auto argmax = std::make_shared<std::vector<std::int64_t>>(out.size());
-  const auto& xd = x.data();
-  for (std::int64_t ni = 0; ni < n; ++ni) {
-    for (std::int64_t ci = 0; ci < c; ++ci) {
-      for (std::int64_t yo = 0; yo < oh; ++yo) {
-        for (std::int64_t xo = 0; xo < ow; ++xo) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t yi = yo * stride + ky, xi = xo * stride + kx;
-              const std::int64_t idx = ((ni * c + ci) * h + yi) * w + xi;
-              if (xd[static_cast<std::size_t>(idx)] > best) {
-                best = xd[static_cast<std::size_t>(idx)];
-                best_idx = idx;
+  {
+    const float* xp = x.data().data();
+    float* op = out.data();
+    std::int64_t* amp = argmax->data();
+    be::for_each_index(
+        n * c,
+        [=](std::int64_t slice) {
+          const float* xplane = xp + slice * h * w;
+          for (std::int64_t yo = 0; yo < oh; ++yo) {
+            for (std::int64_t xo = 0; xo < ow; ++xo) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = 0;
+              for (std::int64_t ky = 0; ky < k; ++ky) {
+                for (std::int64_t kx = 0; kx < k; ++kx) {
+                  const std::int64_t yi = yo * stride + ky, xi = xo * stride + kx;
+                  const std::int64_t idx = yi * w + xi;
+                  if (xplane[idx] > best) {
+                    best = xplane[idx];
+                    best_idx = idx;
+                  }
+                }
               }
+              const std::int64_t oidx = (slice * oh + yo) * ow + xo;
+              op[oidx] = best;
+              amp[oidx] = slice * h * w + best_idx;
             }
           }
-          const std::size_t oidx =
-              static_cast<std::size_t>(((ni * c + ci) * oh + yo) * ow + xo);
-          out[oidx] = best;
-          (*argmax)[oidx] = best_idx;
-        }
-      }
-    }
+        },
+        /*grain=*/1);
   }
-  return make_op(std::move(out), {n, c, oh, ow}, {x}, [x, argmax](TensorImpl& o) {
-    if (!x.requires_grad()) return;
-    auto& gx = const_cast<Tensor&>(x).grad();
-    for (std::size_t i = 0; i < o.grad.size(); ++i) {
-      gx[static_cast<std::size_t>((*argmax)[i])] += o.grad[i];
-    }
-  });
+  return make_op(std::move(out), {n, c, oh, ow}, {x},
+                 [x, argmax, oh, ow](TensorImpl& o) {
+                   if (!x.requires_grad()) return;
+                   // Overlapping windows can pick the same input pixel, but
+                   // only within one (n, c) plane: slices stay the parallel
+                   // dimension, scatter order within a slice is serial.
+                   float* gxp = const_cast<Tensor&>(x).grad().data();
+                   const float* gp = o.grad.data();
+                   const std::int64_t* amp = argmax->data();
+                   const std::int64_t plane = oh * ow;
+                   be::for_each_index(
+                       static_cast<std::int64_t>(o.grad.size()) / plane,
+                       [=](std::int64_t slice) {
+                         for (std::int64_t i = slice * plane; i < (slice + 1) * plane; ++i) {
+                           gxp[amp[i]] += gp[i];
+                         }
+                       },
+                       /*grain=*/1);
+                 });
 }
 
 Tensor batchnorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta,

@@ -7,7 +7,12 @@ namespace adept::ag {
 
 namespace {
 bool g_grad_enabled = true;
+std::size_t g_op_nodes = 0;  // graph construction is single-threaded
 }  // namespace
+
+namespace debug {
+std::size_t op_nodes_created() { return g_op_nodes; }
+}  // namespace debug
 
 bool GradMode::enabled() { return g_grad_enabled; }
 void GradMode::set_enabled(bool on) { g_grad_enabled = on; }
@@ -151,6 +156,7 @@ Tensor make_tensor(std::vector<float> data, std::vector<std::int64_t> shape,
 Tensor make_op(std::vector<float> data, std::vector<std::int64_t> shape,
                std::vector<Tensor> parents,
                std::function<void(TensorImpl&)> backward) {
+  ++g_op_nodes;
   auto impl = std::make_shared<TensorImpl>();
   impl->data = std::move(data);
   impl->shape = std::move(shape);

@@ -133,4 +133,11 @@ Tensor make_op(std::vector<float> data, std::vector<std::int64_t> shape,
 // for shape validation (catch errors early per CppCoreGuidelines P.7).
 void check(bool cond, const std::string& msg);
 
+namespace debug {
+// Monotonic count of op nodes constructed by make_op since process start.
+// Tests diff it across a call to assert how many tape nodes an operator
+// creates (e.g. fused cmatmul: 1 compute node + 2 plane views).
+std::size_t op_nodes_created();
+}  // namespace debug
+
 }  // namespace adept::ag

@@ -1,6 +1,7 @@
 #include "backend/kernels.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <vector>
 
 namespace adept::backend {
@@ -13,6 +14,31 @@ namespace {
 constexpr std::int64_t kRowBlock = 48;
 constexpr std::int64_t kKBlock = 256;
 
+// Beta epilogue shared by every gemm variant: beta == 0 zero-fills the row,
+// beta == 1 leaves it untouched, anything else scales in place.
+template <typename T>
+inline void scale_row_beta(T beta, std::int64_t n, T* row) {
+  if (beta == T{}) {
+    std::fill(row, row + n, T{});
+  } else if (beta != T{1}) {
+    for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+  }
+}
+
+// Gathers the [kc, n] panel of a logically transposed B (physical [n, ldb],
+// panel starting at column k0) into row-major scratch `bp` so the gemm inner
+// loops always stream unit-stride memory. Shared by the scalar gemm variants.
+template <typename T>
+inline void pack_bt_panel(const T* b, std::int64_t ldb, std::int64_t k0,
+                          std::int64_t kc, std::int64_t n, T* bp) {
+  parallel_for(kc, kRowBlock, [=](std::int64_t kk0, std::int64_t kk1) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const T* bcol = b + j * ldb + k0;
+      for (std::int64_t kk = kk0; kk < kk1; ++kk) bp[kk * n + j] = bcol[kk];
+    }
+  });
+}
+
 // SkipZero preserves the seed's sparse-operand shortcut for the photonic
 // matrices (butterfly/permutation products are mostly zeros); the float NN
 // path keeps a branch-free inner loop instead.
@@ -21,13 +47,7 @@ void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                std::int64_t k, T alpha, const T* a, std::int64_t lda,
                const T* b, std::int64_t ldb, T beta, T* c, std::int64_t ldc) {
   if (m <= 0 || n <= 0) return;
-  auto scale_row = [&](T* crow) {
-    if (beta == T{}) {
-      std::fill(crow, crow + n, T{});
-    } else if (beta != T{1}) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  };
+  auto scale_row = [&](T* crow) { scale_row_beta(beta, n, crow); };
   if (k <= 0) {
     parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) scale_row(c + i * ldc);
@@ -50,15 +70,7 @@ void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
       bpanel = b + k0 * ldb;
       bstride = ldb;
     } else {
-      T* bp = bpack.data();
-      parallel_for(kc, kRowBlock, [=](std::int64_t kk0, std::int64_t kk1) {
-        for (std::int64_t j = 0; j < n; ++j) {
-          const T* bcol = b + j * ldb + k0;
-          for (std::int64_t kk = kk0; kk < kk1; ++kk) {
-            bp[kk * n + j] = bcol[kk];
-          }
-        }
-      });
+      pack_bt_panel(b, ldb, k0, kc, n, bpack.data());
       bpanel = bpack.data();
       bstride = n;
     }
@@ -75,6 +87,111 @@ void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
           av *= alpha;
           const T* brow = bpanel + kk * bstride;
           for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    });
+  }
+}
+
+// Planar complex gemm sharing the blocked structure of gemm_impl: k-panels
+// outer so transposed/conjugated op(B) is packed once per panel into planar
+// scratch, rows of C parallel inner. Per-element accumulation order is again
+// (k0 ascending, kk ascending) regardless of chunking, so results are
+// bit-exact across thread counts.
+void cgemm_impl(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* ar, const float* ai,
+                std::int64_t lda, const float* br, const float* bi,
+                std::int64_t ldb, float beta, float* cr, float* ci,
+                std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  auto scale_row = [&](float* rrow, float* irow) {
+    scale_row_beta(beta, n, rrow);
+    scale_row_beta(beta, n, irow);
+  };
+  if (k <= 0) {
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) scale_row(cr + i * ldc, ci + i * ldc);
+    });
+    return;
+  }
+  std::vector<float> bpack;
+  const bool pack_b = tb != CTrans::N;
+  if (pack_b) bpack.resize(static_cast<std::size_t>(2 * std::min(kKBlock, k) * n));
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t kc = std::min(kKBlock, k - k0);
+    const float *bpr, *bpi;
+    std::int64_t bstride;
+    if (!pack_b) {
+      bpr = br + k0 * ldb;
+      bpi = bi + k0 * ldb;
+      bstride = ldb;
+    } else {
+      float* pr = bpack.data();
+      float* pi = bpack.data() + kc * n;
+      const float isign = tb == CTrans::H ? -1.0f : 1.0f;
+      parallel_for(kc, kRowBlock, [=](std::int64_t kk0, std::int64_t kk1) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float* rcol = br + j * ldb + k0;
+          const float* icol = bi + j * ldb + k0;
+          for (std::int64_t kk = kk0; kk < kk1; ++kk) {
+            pr[kk * n + j] = rcol[kk];
+            pi[kk * n + j] = isign * icol[kk];
+          }
+        }
+      });
+      bpr = bpack.data();
+      bpi = bpack.data() + kc * n;
+      bstride = n;
+    }
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = cr + i * ldc;
+        float* cirow = ci + i * ldc;
+        if (k0 == 0) scale_row(crow, cirow);
+        auto opa = [&](std::int64_t kk, float& re, float& im) {
+          if (ta == CTrans::N) {
+            re = ar[i * lda + k0 + kk];
+            im = ai[i * lda + k0 + kk];
+          } else {
+            re = ar[(k0 + kk) * lda + i];
+            im = ai[(k0 + kk) * lda + i];
+            if (ta == CTrans::H) im = -im;
+          }
+        };
+        std::int64_t kk = 0;
+        // Two k-steps per pass: C's rows are read/written once per 16 flops
+        // instead of per 8. Each element still accumulates in ascending kk
+        // order (two separate += statements), and the pairing is a pure
+        // function of the panel size, so thread-count bit-exactness holds.
+        for (; kk + 1 < kc; kk += 2) {
+          float a0, a0i, a1, a1i;
+          opa(kk, a0, a0i);
+          opa(kk + 1, a1, a1i);
+          if (a0 == 0.0f && a0i == 0.0f && a1 == 0.0f && a1i == 0.0f) continue;
+          const float* b0r = bpr + kk * bstride;
+          const float* b0i = bpi + kk * bstride;
+          const float* b1r = b0r + bstride;
+          const float* b1i = b0i + bstride;
+          for (std::int64_t j = 0; j < n; ++j) {
+            float re = crow[j], im = cirow[j];
+            re += a0 * b0r[j] - a0i * b0i[j];
+            im += a0 * b0i[j] + a0i * b0r[j];
+            re += a1 * b1r[j] - a1i * b1i[j];
+            im += a1 * b1i[j] + a1i * b1r[j];
+            crow[j] = re;
+            cirow[j] = im;
+          }
+        }
+        for (; kk < kc; ++kk) {
+          float av, avi;
+          opa(kk, av, avi);
+          if (av == 0.0f && avi == 0.0f) continue;
+          const float* brow = bpr + kk * bstride;
+          const float* birow = bpi + kk * bstride;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j] - avi * birow[j];
+            cirow[j] += av * birow[j] + avi * brow[j];
+          }
         }
       }
     });
@@ -102,6 +219,153 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           std::int64_t ldc) {
   gemm_impl<std::complex<double>, true>(ta, tb, m, n, k, alpha, a, lda, b, ldb,
                                         beta, c, ldc);
+}
+
+void cgemm(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
+           std::int64_t k, const float* ar, const float* ai, std::int64_t lda,
+           const float* br, const float* bi, std::int64_t ldb, float beta,
+           float* cr, float* ci, std::int64_t ldc) {
+  cgemm_impl(ta, tb, m, n, k, ar, ai, lda, br, bi, ldb, beta, cr, ci, ldc);
+}
+
+void rcgemm(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
+            const float* a, std::int64_t lda, const float* br, const float* bi,
+            std::int64_t ldb, float beta, float* cr, float* ci,
+            std::int64_t ldc, const float* col_cos, const float* col_sin) {
+  if (m <= 0 || n <= 0) return;
+  // The phase epilogue rewrites the product in place, which only composes
+  // with a zero-initialized accumulator.
+  const bool phased = col_cos != nullptr;
+  if (phased != (col_sin != nullptr)) {
+    throw std::invalid_argument("rcgemm: col_cos/col_sin must be passed together");
+  }
+  if (phased && beta != 0.0f) {
+    throw std::invalid_argument("rcgemm: phase epilogue requires beta == 0");
+  }
+  const std::int64_t last_k0 = k <= 0 ? 0 : ((k - 1) / kKBlock) * kKBlock;
+  auto scale_row = [&](float* rrow, float* irow) {
+    scale_row_beta(beta, n, rrow);
+    scale_row_beta(beta, n, irow);
+  };
+  if (k <= 0) {
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) scale_row(cr + i * ldc, ci + i * ldc);
+    });
+    return;
+  }
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t kc = std::min(kKBlock, k - k0);
+    parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = cr + i * ldc;
+        float* cirow = ci + i * ldc;
+        if (k0 == 0) scale_row(crow, cirow);
+        auto opa = [&](std::int64_t kk) {
+          return ta == Trans::N ? a[i * lda + k0 + kk] : a[(k0 + kk) * lda + i];
+        };
+        std::int64_t kk = 0;
+        // Same k-step pairing as cgemm: per-element accumulation stays in
+        // ascending kk order, C rows touched half as often.
+        for (; kk + 1 < kc; kk += 2) {
+          const float a0 = opa(kk), a1 = opa(kk + 1);
+          if (a0 == 0.0f && a1 == 0.0f) continue;
+          const float* b0r = br + (k0 + kk) * ldb;
+          const float* b0i = bi + (k0 + kk) * ldb;
+          const float* b1r = b0r + ldb;
+          const float* b1i = b0i + ldb;
+          for (std::int64_t j = 0; j < n; ++j) {
+            float re = crow[j], im = cirow[j];
+            re += a0 * b0r[j];
+            im += a0 * b0i[j];
+            re += a1 * b1r[j];
+            im += a1 * b1i[j];
+            crow[j] = re;
+            cirow[j] = im;
+          }
+        }
+        for (; kk < kc; ++kk) {
+          const float av = opa(kk);
+          if (av == 0.0f) continue;
+          const float* brow = br + (k0 + kk) * ldb;
+          const float* birow = bi + (k0 + kk) * ldb;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j];
+            cirow[j] += av * birow[j];
+          }
+        }
+        if (phased && k0 == last_k0) {
+          // Column phase epilogue: (re, im) <- (re, im) * e^{-i phi_j} once
+          // the row's accumulation is complete.
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float re = crow[j], im = cirow[j];
+            crow[j] = re * col_cos[j] + im * col_sin[j];
+            cirow[j] = im * col_cos[j] - re * col_sin[j];
+          }
+        }
+      }
+    });
+  }
+}
+
+void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
+                  std::int64_t k, const float* a, std::int64_t stride_a,
+                  std::int64_t lda, Trans tb, const float* b, std::int64_t ldb,
+                  float beta, float* c, std::int64_t stride_c,
+                  std::int64_t ldc) {
+  if (batch <= 0 || m <= 0 || n <= 0) return;
+  const std::int64_t rows = batch * m;
+  if (k <= 0) {
+    parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        scale_row_beta(beta, n, c + (r / m) * stride_c + (r % m) * ldc);
+      }
+    });
+    return;
+  }
+  // Same k-panel/row-chunk structure as gemm_impl, but the row space spans
+  // all batches so B's panels are packed once and tiny per-sample products
+  // still fill whole chunks.
+  std::vector<float> bpack;
+  if (tb == Trans::T) bpack.resize(static_cast<std::size_t>(std::min(kKBlock, k) * n));
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t kc = std::min(kKBlock, k - k0);
+    const float* bpanel;
+    std::int64_t bstride;
+    if (tb == Trans::N) {
+      bpanel = b + k0 * ldb;
+      bstride = ldb;
+    } else {
+      pack_bt_panel(b, ldb, k0, kc, n, bpack.data());
+      bpanel = bpack.data();
+      bstride = n;
+    }
+    parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const std::int64_t bi = r / m, i = r % m;
+        const float* arow = a + bi * stride_a + i * lda + k0;
+        float* crow = c + bi * stride_c + i * ldc;
+        if (k0 == 0) scale_row_beta(beta, n, crow);
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = bpanel + kk * bstride;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    });
+  }
+}
+
+void cmul_planar(std::size_t n, const float* ar, const float* ai,
+                 const float* br, const float* bi, float* outr, float* outi) {
+  parallel_for(static_cast<std::int64_t>(n), detail::kElemGrain,
+               [=](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   const float re = ar[i] * br[i] - ai[i] * bi[i];
+                   outi[i] = ar[i] * bi[i] + ai[i] * br[i];
+                   outr[i] = re;
+                 }
+               });
 }
 
 void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,

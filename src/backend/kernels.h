@@ -21,6 +21,11 @@ namespace adept::backend {
 // materialized transpose visible to the caller.
 enum class Trans { N, T };
 
+// Complex operand layout: N as stored, T logical transpose, H conjugate
+// transpose (the variant complex-matmul backward needs: dA = G B^H,
+// dB = A^H G).
+enum class CTrans { N, T, H };
+
 // C = alpha * op(A) @ op(B) + beta * C, all row-major. op(A) is [m, k],
 // op(B) is [k, n], C is [m, n]. `lda`/`ldb`/`ldc` are the physical row
 // strides of the stored arrays (for a Trans::T operand the stride of the
@@ -35,6 +40,45 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           std::complex<double> alpha, const std::complex<double>* a,
           std::int64_t lda, const std::complex<double>* b, std::int64_t ldb,
           std::complex<double> beta, std::complex<double>* c, std::int64_t ldc);
+
+// Fused complex float gemm over split re/im planar operands:
+//   C = op(A) @ op(B) + beta * C   (both planes)
+// op(A) is [m, k], op(B) is [k, n]; `lda`/`ldb`/`ldc` are the physical row
+// strides of the stored planes (re and im share one layout). One blocked
+// traversal produces both output planes, so memory traffic is ~half of the
+// four-real-gemm lowering. Deterministic across thread counts like `gemm`.
+void cgemm(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
+           std::int64_t k, const float* ar, const float* ai, std::int64_t lda,
+           const float* br, const float* bi, std::int64_t ldb, float beta,
+           float* cr, float* ci, std::int64_t ldc);
+
+// Real-by-complex gemm: C = op(A) @ B + beta * C with A real [m, k] and B a
+// planar complex [k, n]; one traversal of A feeds both output planes.
+//
+// When `col_cos`/`col_sin` are non-null (requires beta == 0), the kernel
+// epilogue multiplies column j of the product by exp(-i*phi_j) given
+// cos(phi_j)/sin(phi_j) — the fused "block transfer" form P @ T @ R(Phi)
+// where the diagonal phase column R never becomes a matmul.
+void rcgemm(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
+            const float* a, std::int64_t lda, const float* br, const float* bi,
+            std::int64_t ldb, float beta, float* cr, float* ci,
+            std::int64_t ldc, const float* col_cos = nullptr,
+            const float* col_sin = nullptr);
+
+// Batched gemm with a shared right operand: C[b] = A[b] @ op(B) + beta*C[b]
+// for b in [0, batch). A is [batch, m, k] with physical batch stride
+// `stride_a` (rows inside a batch stride by `lda`), C likewise. The row/k
+// chunking spans the whole [batch*m] row space, so small per-sample matmuls
+// amortize dispatch and pack op(B) panels once for all batches.
+void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
+                  std::int64_t k, const float* a, std::int64_t stride_a,
+                  std::int64_t lda, Trans tb, const float* b, std::int64_t ldb,
+                  float beta, float* c, std::int64_t stride_c,
+                  std::int64_t ldc);
+
+// Fused planar complex elementwise product: (or, oi) = (a * b) per element.
+void cmul_planar(std::size_t n, const float* ar, const float* ai,
+                 const float* br, const float* bi, float* outr, float* outi);
 
 // Patch extraction for NCHW conv-as-gemm. `out` is [n*oh*ow, c*kh*kw] with
 // oh = (h + 2*pad - kh)/stride + 1 (ow analogous); out-of-image taps are 0.

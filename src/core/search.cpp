@@ -77,6 +77,12 @@ SearchResult AdeptSearcher::run() {
     }
     Tensor penalty = mesh_->footprint_penalty_expr(config_.footprint);
     if (!warmup) loss = ag::add(loss, penalty);
+    // Record E[F] before the optimizer mutates parameters: the value then
+    // describes the same parameters as task_loss/penalty above (and reads
+    // the block-count cache footprint_penalty_expr just filled, instead of
+    // re-running SPL legalization per query).
+    result.trace.expected_footprint.push_back(
+        mesh_->expected_footprint(config_.footprint.pdk));
 
     if (arch_step) {
       arch_opt.zero_grad();
@@ -94,8 +100,6 @@ SearchResult AdeptSearcher::run() {
     result.trace.alm_rho.push_back(alm.rho());
     result.trace.permutation_error.push_back(
         perms.empty() ? 0.0 : alm.permutation_error(perms));
-    result.trace.expected_footprint.push_back(
-        mesh_->expected_footprint(config_.footprint.pdk));
     result.trace.footprint_penalty.push_back(penalty.item());
   }
 
@@ -150,8 +154,10 @@ Tensor MatrixFitTask::loss(SuperMesh& mesh, bool validation) {
   for (int t = 0; t < tiles_; ++t) {
     CxTensor u = mesh.tile_unitary(Side::u, phi_u_[static_cast<std::size_t>(t)]);
     CxTensor v = mesh.tile_unitary(Side::v, phi_v_[static_cast<std::size_t>(t)]);
-    Tensor sig_diag = ag::diag(sigma_[static_cast<std::size_t>(t)]);
-    CxTensor us = {ag::matmul(u.re, sig_diag), ag::matmul(u.im, sig_diag)};
+    // U * diag(sigma) is a column scaling — no materialized diagonal/gemm.
+    const std::int64_t k = mesh.k();
+    CxTensor us = ag::cscale(
+        u, ag::reshape(sigma_[static_cast<std::size_t>(t)], {1, k}));
     CxTensor w = ag::cmatmul(us, v);
     Tensor err = ag::sub(w.re, targets_[static_cast<std::size_t>(t)]);
     total = ag::add(total, ag::mean(ag::square(err)));

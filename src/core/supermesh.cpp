@@ -109,6 +109,9 @@ void SuperMesh::begin_step(double tau, adept::Rng& rng, bool stochastic) {
   step_u_ = make_step(u_, tau, rng, stochastic);
   step_v_ = make_step(v_, tau, rng, stochastic);
   step_ready_ = true;
+  // Parameters move once per optimization step (between begin_step calls),
+  // so the hard footprint counts cached for the previous step are stale now.
+  invalidate_footprint_cache();
 }
 
 CxTensor SuperMesh::tile_unitary(Side side, const std::vector<Tensor>& phases) const {
@@ -119,21 +122,19 @@ CxTensor SuperMesh::tile_unitary(Side side, const std::vector<Tensor>& phases) c
             "tile_unitary: need one phase vector per block");
   const std::int64_t k = config_.k;
   CxTensor acc = CxTensor::eye(k);
-  CxTensor eye = CxTensor::eye(k);
   for (int b = 0; b < nb; ++b) {
-    // Block transfer P~ * T * R(Phi) (Eq. 2/6).
-    CxTensor r = ag::phase_column(phases[static_cast<std::size_t>(b)]);
-    CxTensor tr = ag::cmatmul(s.coupler_mat[static_cast<std::size_t>(b)], r);
-    CxTensor block = {ag::matmul(s.p_tilde[static_cast<std::size_t>(b)], tr.re),
-                      ag::matmul(s.p_tilde[static_cast<std::size_t>(b)], tr.im)};
-    CxTensor mixed;
-    if (block_always_on(b)) {
-      mixed = block;
-    } else {
-      // m_{b,1} * I + m_{b,2} * block (Eq. 6).
-      mixed = ag::cadd(ag::cscale(eye, s.skip[static_cast<std::size_t>(b)]),
-                       ag::cscale(block, s.select[static_cast<std::size_t>(b)]));
-    }
+    // Fused block transfer P~ * T * R(Phi) (Eq. 2/6): one tape node, phase
+    // column applied in the gemm epilogue.
+    CxTensor block = ag::block_transfer(s.p_tilde[static_cast<std::size_t>(b)],
+                                        s.coupler_mat[static_cast<std::size_t>(b)],
+                                        phases[static_cast<std::size_t>(b)]);
+    // m_{b,1} * I + m_{b,2} * block (Eq. 6), fused — no materialized
+    // identity or scaled re/im intermediates.
+    CxTensor mixed =
+        block_always_on(b)
+            ? block
+            : ag::cmix_identity(s.skip[static_cast<std::size_t>(b)],
+                                s.select[static_cast<std::size_t>(b)], block);
     acc = ag::cmatmul(mixed, acc);
   }
   if (config_.normalize_unitaries && !perms_frozen_) {
@@ -176,15 +177,37 @@ Tensor SuperMesh::footprint_penalty_expr(const FootprintConfig& config) const {
   return footprint_penalty(expected_proxy, expected_footprint(config.pdk), config);
 }
 
+void SuperMesh::invalidate_footprint_cache() const {
+  for (auto& side : block_counts_) {
+    for (auto& c : side) c.valid = false;
+  }
+}
+
+const SuperMesh::BlockCounts& SuperMesh::cached_block_counts(Side side, int b,
+                                                             adept::Rng& rng) const {
+  auto& cache = block_counts_[side == Side::u ? 0 : 1];
+  if (cache.empty()) {
+    cache.resize(static_cast<std::size_t>(config_.super_blocks_per_unitary));
+  }
+  BlockCounts& entry = cache[static_cast<std::size_t>(b)];
+  if (!entry.valid) {
+    const auto& p = params(side);
+    entry.dc = static_cast<double>(
+        dc_count_hard(p.t_latent[static_cast<std::size_t>(b)]));
+    // The expensive part: reconstructing + SPL-legalizing the permutation to
+    // count crossings. Cached until the next parameter step.
+    const Permutation perm = block_permutation(side, b, rng);
+    entry.cr = static_cast<double>(photonics::crossing_count(perm));
+    entry.valid = true;
+  }
+  return entry;
+}
+
 double SuperMesh::hard_block_footprint(Side side, int b, const photonics::Pdk& pdk,
                                        adept::Rng& rng) const {
-  const auto& p = params(side);
-  const double dc = static_cast<double>(
-      dc_count_hard(p.t_latent[static_cast<std::size_t>(b)]));
-  const Permutation perm = block_permutation(side, b, rng);
-  const double cr = static_cast<double>(photonics::crossing_count(perm));
-  return static_cast<double>(config_.k) * ps_area_k(pdk) + dc * dc_area_k(pdk) +
-         cr * cr_area_k(pdk);
+  const BlockCounts& counts = cached_block_counts(side, b, rng);
+  return static_cast<double>(config_.k) * ps_area_k(pdk) +
+         counts.dc * dc_area_k(pdk) + counts.cr * cr_area_k(pdk);
 }
 
 double SuperMesh::expected_footprint(const photonics::Pdk& pdk) const {
@@ -235,6 +258,7 @@ void SuperMesh::legalize_permutations(adept::Rng& rng, const SplConfig& spl) {
   }
   perms_frozen_ = true;
   step_ready_ = false;  // cached expressions refer to the old parameters
+  invalidate_footprint_cache();
 }
 
 PtcTopology SuperMesh::sample_topology(adept::Rng& rng, const photonics::Pdk& pdk,

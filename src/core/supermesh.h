@@ -132,11 +132,24 @@ class SuperMesh {
   double hard_block_footprint(Side side, int b, const photonics::Pdk& pdk,
                               adept::Rng& rng) const;
 
+  // Hard device counts of one block (DC count from t_latent, crossings from
+  // the SPL-legalized permutation). PDK-independent, so one cache entry
+  // serves every footprint query between parameter steps; begin_step and
+  // legalize_permutations invalidate it.
+  struct BlockCounts {
+    bool valid = false;
+    double dc = 0.0;
+    double cr = 0.0;
+  };
+  const BlockCounts& cached_block_counts(Side side, int b, adept::Rng& rng) const;
+  void invalidate_footprint_cache() const;
+
   SuperMeshConfig config_;
   UnitaryParams u_, v_;
   StepState step_u_, step_v_;
   bool step_ready_ = false;
   bool perms_frozen_ = false;
+  mutable std::vector<BlockCounts> block_counts_[2];  // indexed by Side
 };
 
 }  // namespace adept::core

@@ -26,7 +26,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, adept::Rng& 
 }
 
 Tensor Linear::forward(const Tensor& x) {
-  Tensor y = ag::matmul(x, weight_);
+  // 2-D mini-batches use the plain gemm; stacked [G,N,in] groups go through
+  // the batched kernel as a single tape node.
+  Tensor y = x.ndim() == 3 ? ag::bmm(x, weight_) : ag::matmul(x, weight_);
   if (bias_.defined()) y = ag::add(y, bias_);
   return y;
 }

@@ -119,9 +119,8 @@ CxTensor PtcWeight::fixed_tile_unitary(const std::vector<BlockSpec>& blocks,
       for (auto& d : drift) d = static_cast<float>(noise_rng_.normal(0.0, noise_sigma_));
       phi = ag::add(phi, ag::make_tensor(std::move(drift), {k}, false));
     }
-    // Block transfer (P*T) * R(phi); R diagonal => column scaling.
-    CxTensor e = ag::cexp_neg_i(ag::reshape(phi, {1, k}));
-    CxTensor scaled = ag::cmul(pt_consts[b], e);  // broadcasts [1,K] across rows
+    // Block transfer (P*T) * R(phi); R diagonal => fused column scaling.
+    CxTensor scaled = ag::colphase_scale(pt_consts[b], phi);
     acc = ag::cmatmul(scaled, acc);
   }
   return acc;
@@ -175,8 +174,12 @@ ONNLinear::ONNLinear(std::int64_t in_features, std::int64_t out_features,
 }
 
 Tensor ONNLinear::forward(const Tensor& x) {
-  Tensor w = weight_.weight_expr();             // [out, in]
-  Tensor y = ag::matmul(x, ag::transpose(w));   // [N, out]
+  Tensor w = weight_.weight_expr();  // [out, in]
+  // A stacked [G,N,in] group of mini-batches runs through the batched gemm
+  // as one tape node; the weight expression is built once for the whole
+  // group either way.
+  Tensor y = x.ndim() == 3 ? ag::bmm(x, ag::transpose(w))
+                           : ag::matmul(x, ag::transpose(w));
   if (bias_.defined()) y = ag::add(y, bias_);
   return y;
 }

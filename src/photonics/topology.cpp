@@ -122,15 +122,66 @@ int interleaved_parity(int block_index) { return block_index % 2 == 0 ? 0 : 1; }
 
 std::int64_t dc_slots(int k, int start) { return (k - start) / 2; }
 
-CMat block_transfer(const BlockSpec& block, int k, const std::vector<double>& phases) {
+namespace {
+
+// In-place u <- P * T * R(phi) * u without materializing any of the three
+// factors: R is diagonal (row scaling), T is a column of 2x2 coupler cells
+// (sparse row pairs), and P is a hard permutation (row gather through
+// `scratch`). O(K^2) per block instead of two dense O(K^3) products.
+void apply_block_inplace(const BlockSpec& block, int k,
+                         const std::vector<double>& phases, CMat& u,
+                         CMat& scratch) {
   if (static_cast<int>(phases.size()) != k) {
     throw std::invalid_argument("block_transfer: need K phases");
   }
-  const CMat r = phase_column_matrix(phases);
-  const std::vector<double> t(block.dc_mask.size(), balanced_coupler_t());
-  const CMat tmat = coupler_column_matrix(k, block.start, block.dc_mask, t);
-  const CMat p = block.perm.to_cmatrix();
-  return p * tmat * r;
+  // Same operand validation the dense coupler_column_matrix used to enforce
+  // before the sparse rewrite: invalid specs must throw, not write OOB.
+  if (block.start != 0 && block.start != 1) {
+    throw std::invalid_argument("block_transfer: start must be 0/1");
+  }
+  if (block.start + 2 * static_cast<std::int64_t>(block.dc_mask.size()) > k) {
+    throw std::invalid_argument("block_transfer: too many coupler slots");
+  }
+  const std::int64_t cols = u.cols();
+  auto* ud = u.data().data();
+  // R(phi): row i scales by exp(-i*phi_i).
+  for (int i = 0; i < k; ++i) {
+    const cplx e = phase_shifter(phases[static_cast<std::size_t>(i)]);
+    cplx* row = ud + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= e;
+  }
+  // T: each active slot mixes row pair (a, a+1); bar slots and uncovered
+  // rows pass through.
+  const double t = balanced_coupler_t();
+  const cplx jcross(0.0, std::sqrt(std::max(0.0, 1.0 - t * t)));
+  for (std::size_t s = 0; s < block.dc_mask.size(); ++s) {
+    if (!block.dc_mask[s]) continue;
+    const std::int64_t a = block.start + 2 * static_cast<std::int64_t>(s);
+    cplx* ra = ud + a * cols;
+    cplx* rb = ud + (a + 1) * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const cplx va = ra[j], vb = rb[j];
+      ra[j] = t * va + jcross * vb;
+      rb[j] = jcross * va + t * vb;
+    }
+  }
+  // P: row i of the result is row perm(i) of the input.
+  auto* sd = scratch.data().data();
+  for (int i = 0; i < k; ++i) {
+    const cplx* src = ud + block.perm(i) * cols;
+    cplx* dst = sd + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+  }
+  std::swap(u, scratch);
+}
+
+}  // namespace
+
+CMat block_transfer(const BlockSpec& block, int k, const std::vector<double>& phases) {
+  CMat u = CMat::identity(k);
+  CMat scratch(k, k);
+  apply_block_inplace(block, k, phases, u, scratch);
+  return u;
 }
 
 CMat mesh_transfer(const std::vector<BlockSpec>& blocks, int k, const MeshPhases& phases) {
@@ -138,8 +189,9 @@ CMat mesh_transfer(const std::vector<BlockSpec>& blocks, int k, const MeshPhases
     throw std::invalid_argument("mesh_transfer: phase/block count mismatch");
   }
   CMat u = CMat::identity(k);
+  CMat scratch(k, k);
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    u = block_transfer(blocks[b], k, phases.per_block[b]) * u;
+    apply_block_inplace(blocks[b], k, phases.per_block[b], u, scratch);
   }
   return u;
 }

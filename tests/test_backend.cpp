@@ -241,6 +241,215 @@ TEST(Im2col, MatchesNaiveAndIsAdjointOfCol2im) {
   for (std::size_t i = 0; i < xback.size(); ++i) ASSERT_EQ(xback[i], xback4[i]);
 }
 
+// ---- fused complex gemm ---------------------------------------------------
+
+// Reference planar complex gemm via std::complex.
+void ref_cgemm(be::CTrans ta, be::CTrans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::vector<float>& ar,
+               const std::vector<float>& ai, std::int64_t lda,
+               const std::vector<float>& br, const std::vector<float>& bi,
+               std::int64_t ldb, float beta, std::vector<float>& cr,
+               std::vector<float>& ci, std::int64_t ldc) {
+  auto opa = [&](std::int64_t i, std::int64_t kk) {
+    std::complex<float> v;
+    if (ta == be::CTrans::N) {
+      v = {ar[static_cast<std::size_t>(i * lda + kk)],
+           ai[static_cast<std::size_t>(i * lda + kk)]};
+    } else {
+      v = {ar[static_cast<std::size_t>(kk * lda + i)],
+           ai[static_cast<std::size_t>(kk * lda + i)]};
+      if (ta == be::CTrans::H) v = std::conj(v);
+    }
+    return v;
+  };
+  auto opb = [&](std::int64_t kk, std::int64_t j) {
+    std::complex<float> v;
+    if (tb == be::CTrans::N) {
+      v = {br[static_cast<std::size_t>(kk * ldb + j)],
+           bi[static_cast<std::size_t>(kk * ldb + j)]};
+    } else {
+      v = {br[static_cast<std::size_t>(j * ldb + kk)],
+           bi[static_cast<std::size_t>(j * ldb + kk)]};
+      if (tb == be::CTrans::H) v = std::conj(v);
+    }
+    return v;
+  };
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::complex<double> acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += std::complex<double>(opa(i, kk)) * std::complex<double>(opb(kk, j));
+      }
+      auto& re = cr[static_cast<std::size_t>(i * ldc + j)];
+      auto& im = ci[static_cast<std::size_t>(i * ldc + j)];
+      re = static_cast<float>(acc.real()) + beta * re;
+      im = static_cast<float>(acc.imag()) + beta * im;
+    }
+  }
+}
+
+struct CgemmCase {
+  be::CTrans ta, tb;
+  std::int64_t m, n, k;
+  float beta;
+};
+
+class CgemmVariants : public ::testing::TestWithParam<CgemmCase> {};
+
+TEST_P(CgemmVariants, MatchesComplexReference) {
+  const CgemmCase p = GetParam();
+  Rng rng(31);
+  const std::int64_t lda = p.ta == be::CTrans::N ? p.k : p.m;
+  const std::int64_t ldb = p.tb == be::CTrans::N ? p.n : p.k;
+  const std::size_t an = static_cast<std::size_t>((p.ta == be::CTrans::N ? p.m : p.k) * lda);
+  const std::size_t bn = static_cast<std::size_t>((p.tb == be::CTrans::N ? p.k : p.n) * ldb);
+  const auto ar = random_vec<float>(an, rng), ai = random_vec<float>(an, rng);
+  const auto br = random_vec<float>(bn, rng), bi = random_vec<float>(bn, rng);
+  auto cr0 = random_vec<float>(static_cast<std::size_t>(p.m * p.n), rng);
+  auto ci0 = random_vec<float>(static_cast<std::size_t>(p.m * p.n), rng);
+  auto er = cr0, ei = ci0;
+  ref_cgemm(p.ta, p.tb, p.m, p.n, p.k, ar, ai, lda, br, bi, ldb, p.beta, er, ei, p.n);
+  auto cr = cr0, ci = ci0;
+  be::cgemm(p.ta, p.tb, p.m, p.n, p.k, ar.data(), ai.data(), lda, br.data(),
+            bi.data(), ldb, p.beta, cr.data(), ci.data(), p.n);
+  for (std::size_t i = 0; i < cr.size(); ++i) {
+    ASSERT_NEAR(cr[i], er[i], 1e-4f) << "re elem " << i;
+    ASSERT_NEAR(ci[i], ei[i], 1e-4f) << "im elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CgemmVariants,
+    ::testing::Values(
+        CgemmCase{be::CTrans::N, be::CTrans::N, 4, 6, 5, 0.0f},
+        CgemmCase{be::CTrans::N, be::CTrans::T, 4, 6, 5, 0.0f},
+        CgemmCase{be::CTrans::N, be::CTrans::H, 4, 6, 5, 1.0f},
+        CgemmCase{be::CTrans::T, be::CTrans::N, 7, 3, 9, 0.0f},
+        CgemmCase{be::CTrans::H, be::CTrans::N, 7, 3, 9, 1.0f},
+        CgemmCase{be::CTrans::H, be::CTrans::H, 8, 8, 8, 0.0f},
+        CgemmCase{be::CTrans::N, be::CTrans::N, 32, 32, 32, 0.0f},
+        // k beyond one 256-deep panel exercises the k-blocking seam.
+        CgemmCase{be::CTrans::N, be::CTrans::H, 5, 7, 300, 0.0f}));
+
+// Acceptance: cgemm results are identical bits at 1/2/8 threads.
+TEST(Determinism, CgemmBitExactAcrossThreadCounts) {
+  Rng rng(32);
+  const std::int64_t m = 63, n = 33, k = 289;
+  const auto ar = random_vec<float>(static_cast<std::size_t>(m * k), rng);
+  const auto ai = random_vec<float>(static_cast<std::size_t>(m * k), rng);
+  const auto br = random_vec<float>(static_cast<std::size_t>(k * n), rng);
+  const auto bi = random_vec<float>(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> base_r, base_i;
+  for (int threads : {1, 2, 8}) {
+    std::vector<float> cr(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> ci = cr;
+    be::ThreadScope scope(threads);
+    be::cgemm(be::CTrans::N, be::CTrans::H, m, n, k, ar.data(), ai.data(), k,
+              br.data(), bi.data(), k, 0.0f, cr.data(), ci.data(), n);
+    if (threads == 1) {
+      base_r = cr;
+      base_i = ci;
+      continue;
+    }
+    for (std::size_t i = 0; i < cr.size(); ++i) {
+      ASSERT_EQ(cr[i], base_r[i]) << "threads=" << threads << " re " << i;
+      ASSERT_EQ(ci[i], base_i[i]) << "threads=" << threads << " im " << i;
+    }
+  }
+}
+
+TEST(Rcgemm, MatchesReferenceWithPhaseEpilogue) {
+  Rng rng(33);
+  const std::int64_t k = 12;
+  const auto a = random_vec<float>(static_cast<std::size_t>(k * k), rng);
+  const auto br = random_vec<float>(static_cast<std::size_t>(k * k), rng);
+  const auto bi = random_vec<float>(static_cast<std::size_t>(k * k), rng);
+  std::vector<float> cosv(static_cast<std::size_t>(k)), sinv(cosv.size());
+  for (std::int64_t j = 0; j < k; ++j) {
+    const double phi = rng.uniform(-3.0, 3.0);
+    cosv[static_cast<std::size_t>(j)] = static_cast<float>(std::cos(phi));
+    sinv[static_cast<std::size_t>(j)] = static_cast<float>(std::sin(phi));
+  }
+  // Reference: (A @ B) then multiply column j by exp(-i phi_j).
+  std::vector<float> er(static_cast<std::size_t>(k * k), 0.0f), ei = er;
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      double accr = 0.0, acci = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        accr += static_cast<double>(a[static_cast<std::size_t>(i * k + kk)]) *
+                br[static_cast<std::size_t>(kk * k + j)];
+        acci += static_cast<double>(a[static_cast<std::size_t>(i * k + kk)]) *
+                bi[static_cast<std::size_t>(kk * k + j)];
+      }
+      const double c = cosv[static_cast<std::size_t>(j)], s = sinv[static_cast<std::size_t>(j)];
+      er[static_cast<std::size_t>(i * k + j)] = static_cast<float>(accr * c + acci * s);
+      ei[static_cast<std::size_t>(i * k + j)] = static_cast<float>(acci * c - accr * s);
+    }
+  }
+  std::vector<float> cr(er.size(), 0.0f), ci = cr;
+  be::rcgemm(Trans::N, k, k, k, a.data(), k, br.data(), bi.data(), k, 0.0f,
+             cr.data(), ci.data(), k, cosv.data(), sinv.data());
+  for (std::size_t i = 0; i < cr.size(); ++i) {
+    ASSERT_NEAR(cr[i], er[i], 1e-4f);
+    ASSERT_NEAR(ci[i], ei[i], 1e-4f);
+  }
+}
+
+// ---- batched gemm ---------------------------------------------------------
+
+TEST(GemmBatched, MatchesPerSampleLoop) {
+  Rng rng(34);
+  const std::int64_t batch = 7, m = 9, n = 6, k = 11;
+  const auto a = random_vec<float>(static_cast<std::size_t>(batch * m * k), rng);
+  const auto b = random_vec<float>(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> expect(static_cast<std::size_t>(batch * m * n), 0.0f);
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    be::gemm(Trans::N, Trans::N, m, n, k, 1.0f, a.data() + bi * m * k, k,
+             b.data(), n, 0.0f, expect.data() + bi * m * n, n);
+  }
+  std::vector<float> got(expect.size(), 0.0f);
+  be::gemm_batched(batch, m, n, k, a.data(), m * k, k, Trans::N, b.data(), n,
+                   0.0f, got.data(), m * n, n);
+  for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], expect[i]);
+
+  // Transposed shared operand, accumulate into non-zero C.
+  const auto bt = random_vec<float>(static_cast<std::size_t>(n * k), rng);
+  auto base = random_vec<float>(expect.size(), rng);
+  auto expect_t = base;
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    be::gemm(Trans::N, Trans::T, m, n, k, 1.0f, a.data() + bi * m * k, k,
+             bt.data(), k, 1.0f, expect_t.data() + bi * m * n, n);
+  }
+  auto got_t = base;
+  be::gemm_batched(batch, m, n, k, a.data(), m * k, k, Trans::T, bt.data(), k,
+                   1.0f, got_t.data(), m * n, n);
+  for (std::size_t i = 0; i < got_t.size(); ++i) {
+    ASSERT_NEAR(got_t[i], expect_t[i], 1e-4f);
+  }
+}
+
+// Acceptance: batched gemm identical bits at 1/2/8 threads.
+TEST(Determinism, GemmBatchedBitExactAcrossThreadCounts) {
+  Rng rng(35);
+  const std::int64_t batch = 24, m = 16, n = 10, k = 40;
+  const auto a = random_vec<float>(static_cast<std::size_t>(batch * m * k), rng);
+  const auto b = random_vec<float>(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> base;
+  for (int threads : {1, 2, 8}) {
+    std::vector<float> c(static_cast<std::size_t>(batch * m * n), 0.0f);
+    be::ThreadScope scope(threads);
+    be::gemm_batched(batch, m, n, k, a.data(), m * k, k, Trans::N, b.data(), n,
+                     0.0f, c.data(), m * n, n);
+    if (threads == 1) {
+      base = c;
+      continue;
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], base[i]) << "threads=" << threads << " elem " << i;
+    }
+  }
+}
+
 // ---- gradchecks over the autograd ops now running on the backend ---------
 
 ag::Tensor random_tensor(std::vector<std::int64_t> shape, Rng& rng) {
@@ -272,6 +481,27 @@ TEST(BackendGradcheck, MatmulThreaded) {
       [](const std::vector<ag::Tensor>& in) {
         return ag::sum(ag::mul(ag::matmul(in[0], in[1]),
                                ag::matmul(in[0], in[1])));
+      },
+      {a, b});
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(BackendGradcheck, BmmMatchesPerSampleMatmulAndGrads) {
+  Rng rng(24);
+  ag::Tensor a = random_tensor({3, 4, 5}, rng);
+  ag::Tensor b = random_tensor({5, 6}, rng);
+  // Forward: bmm == per-sample matmul of each [4,5] slice.
+  ag::Tensor y = ag::bmm(a, b);
+  for (std::int64_t bi = 0; bi < 3; ++bi) {
+    std::vector<float> slice(a.data().begin() + bi * 20, a.data().begin() + (bi + 1) * 20);
+    ag::Tensor yi = ag::matmul(ag::make_tensor(std::move(slice), {4, 5}, false), b);
+    for (std::size_t i = 0; i < yi.data().size(); ++i) {
+      ASSERT_NEAR(y.data()[static_cast<std::size_t>(bi * 24) + i], yi.data()[i], 1e-5f);
+    }
+  }
+  auto res = ag::gradcheck(
+      [](const std::vector<ag::Tensor>& in) {
+        return ag::sum(ag::square(ag::bmm(in[0], in[1])));
       },
       {a, b});
   EXPECT_TRUE(res.ok) << res.detail;

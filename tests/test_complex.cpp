@@ -171,6 +171,163 @@ TEST(Complex, ColNormalizeUnitCols) {
   }
 }
 
+// ---- fused cmatmul / block transfer ---------------------------------------
+
+TEST(ComplexFused, CmatmulMatchesUnfusedForwardAndGrads) {
+  Rng rng(20);
+  CxTensor a = random_cx(5, 4, rng);
+  CxTensor b = random_cx(4, 3, rng);
+  CxTensor fused = ag::cmatmul(a, b);
+  CxTensor ref = ag::cmatmul_unfused(a, b);
+  EXPECT_LT(to_cmat(ref).max_abs_diff(to_cmat(fused)), 1e-5);
+
+  // Same scalar head on both lowerings must give the same parameter grads.
+  auto head = [](const CxTensor& c) {
+    return ag::add(ag::sum(ag::square(c.re)), ag::sum(ag::square(c.im)));
+  };
+  head(fused).backward();
+  std::vector<std::vector<float>> fused_grads = {a.re.grad(), a.im.grad(),
+                                                 b.re.grad(), b.im.grad()};
+  for (auto* t : {&a.re, &a.im, &b.re, &b.im}) t->zero_grad();
+  head(ref).backward();
+  const std::vector<std::vector<float>*> ref_grads = {&a.re.grad(), &a.im.grad(),
+                                                      &b.re.grad(), &b.im.grad()};
+  for (std::size_t g = 0; g < fused_grads.size(); ++g) {
+    for (std::size_t i = 0; i < fused_grads[g].size(); ++i) {
+      EXPECT_NEAR(fused_grads[g][i], (*ref_grads[g])[i], 1e-5f)
+          << "grad " << g << " elem " << i;
+    }
+  }
+}
+
+TEST(ComplexFused, CmatmulGradcheck) {
+  Rng rng(21);
+  CxTensor a = random_cx(3, 4, rng);
+  CxTensor b = random_cx(4, 2, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor c = ag::cmatmul({in[0], in[1]}, {in[2], in[3]});
+    return ag::add(ag::sum(ag::square(c.re)), ag::sum(ag::square(c.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {a.re, a.im, b.re, b.im}).ok);
+}
+
+TEST(ComplexFused, CmatmulProducesSingleComputeNode) {
+  Rng rng(22);
+  CxTensor a = random_cx(4, 4, rng);
+  CxTensor b = random_cx(4, 4, rng);
+  const std::size_t before = ag::debug::op_nodes_created();
+  CxTensor c = ag::cmatmul(a, b);
+  const std::size_t fused_nodes = ag::debug::op_nodes_created() - before;
+  // One packed compute node + the two plane views that route its gradient.
+  EXPECT_EQ(fused_nodes, 3u);
+  // Both planes are views of the SAME compute node, which owns the four
+  // operand planes: the product is exactly 1 tape node.
+  ASSERT_EQ(c.re.impl()->parents.size(), 1u);
+  ASSERT_EQ(c.im.impl()->parents.size(), 1u);
+  EXPECT_EQ(c.re.impl()->parents[0].impl(), c.im.impl()->parents[0].impl());
+  EXPECT_EQ(c.re.impl()->parents[0].impl()->parents.size(), 4u);
+  // The legacy lowering costs six tape nodes (4 matmuls + 2 combines).
+  const std::size_t before_ref = ag::debug::op_nodes_created();
+  ag::cmatmul_unfused(a, b);
+  EXPECT_EQ(ag::debug::op_nodes_created() - before_ref, 6u);
+}
+
+TEST(ComplexFused, CmatmulDroppedImagPlaneStillRoutesGrads) {
+  // weight_expr keeps only w.re; gradients must still reach both operands.
+  Rng rng(23);
+  CxTensor a = random_cx(3, 3, rng);
+  CxTensor b = random_cx(3, 3, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor c = ag::cmatmul({in[0], in[1]}, {in[2], in[3]});
+    return ag::sum(ag::square(c.re));  // imaginary plane dropped
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {a.re, a.im, b.re, b.im}).ok);
+}
+
+TEST(ComplexFused, BlockTransferMatchesComposition) {
+  Rng rng(24);
+  const std::int64_t k = 6;
+  CxTensor t = random_cx(k, k, rng);
+  Tensor p = random_cx(k, k, rng, true).re;
+  std::vector<float> pv(static_cast<std::size_t>(k));
+  for (auto& v : pv) v = static_cast<float>(rng.uniform(-3, 3));
+  Tensor phi = ag::make_tensor(std::move(pv), {k}, true);
+
+  CxTensor fused = ag::block_transfer(p, t, phi);
+  // Legacy composition: P @ (T @ R(phi)) via dense products.
+  CxTensor r = ag::phase_column(phi);
+  CxTensor tr = ag::cmatmul_unfused(t, r);
+  CxTensor ref = {ag::matmul(p, tr.re), ag::matmul(p, tr.im)};
+  EXPECT_LT(to_cmat(ref).max_abs_diff(to_cmat(fused)), 1e-5);
+}
+
+TEST(ComplexFused, BlockTransferGradcheck) {
+  Rng rng(25);
+  const std::int64_t k = 4;
+  CxTensor t = random_cx(k, k, rng);
+  Tensor p = random_cx(k, k, rng, true).re;
+  std::vector<float> pv(static_cast<std::size_t>(k));
+  for (auto& v : pv) v = static_cast<float>(rng.uniform(-3, 3));
+  Tensor phi = ag::make_tensor(std::move(pv), {k}, true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor b = ag::block_transfer(in[0], {in[1], in[2]}, in[3]);
+    return ag::add(ag::sum(ag::square(b.re)), ag::sum(ag::square(b.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {p, t.re, t.im, phi}).ok);
+}
+
+TEST(ComplexFused, CmixIdentityGradcheck) {
+  Rng rng(26);
+  const std::int64_t k = 4;
+  CxTensor block = random_cx(k, k, rng);
+  Tensor skip = Tensor::scalar(0.3f, true);
+  Tensor select = Tensor::scalar(0.7f, true);
+  // Value: skip * I + select * block.
+  CxTensor mixed = ag::cmix_identity(skip, select, block);
+  for (std::int64_t i = 0; i < k; ++i) {
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float expect_re =
+          0.7f * block.re.at(i, j) + (i == j ? 0.3f : 0.0f);
+      EXPECT_NEAR(mixed.re.at(i, j), expect_re, 1e-6f);
+      EXPECT_NEAR(mixed.im.at(i, j), 0.7f * block.im.at(i, j), 1e-6f);
+    }
+  }
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor m = ag::cmix_identity(in[0], in[1], {in[2], in[3]});
+    return ag::add(ag::sum(ag::square(m.re)), ag::sum(ag::square(m.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {skip, select, block.re, block.im}).ok);
+}
+
+TEST(ComplexFused, ColphaseScaleMatchesCmulAndGradchecks) {
+  Rng rng(27);
+  const std::int64_t k = 5;
+  CxTensor a = random_cx(k, k, rng);
+  std::vector<float> pv(static_cast<std::size_t>(k));
+  for (auto& v : pv) v = static_cast<float>(rng.uniform(-3, 3));
+  Tensor phi = ag::make_tensor(std::move(pv), {k}, true);
+  CxTensor fused = ag::colphase_scale(a, phi);
+  CxTensor e = ag::cexp_neg_i(ag::reshape(phi, {1, k}));
+  CxTensor ref = ag::cmul(a, e);  // broadcast path
+  EXPECT_LT(to_cmat(ref).max_abs_diff(to_cmat(fused)), 1e-5);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor c = ag::colphase_scale({in[0], in[1]}, in[2]);
+    return ag::add(ag::sum(ag::square(c.re)), ag::sum(ag::square(c.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {a.re, a.im, phi}).ok);
+}
+
+TEST(ComplexFused, CmulSameShapeGradcheck) {
+  Rng rng(28);
+  CxTensor a = random_cx(3, 4, rng);
+  CxTensor b = random_cx(3, 4, rng);
+  auto fn = [](const std::vector<Tensor>& in) {
+    CxTensor c = ag::cmul({in[0], in[1]}, {in[2], in[3]});
+    return ag::add(ag::sum(ag::square(c.re)), ag::sum(ag::square(c.im)));
+  };
+  EXPECT_TRUE(ag::gradcheck(fn, {a.re, a.im, b.re, b.im}).ok);
+}
+
 TEST(Complex, Cabs2) {
   CxTensor a = {Tensor::from_data({2}, {3, 0}), Tensor::from_data({2}, {4, 2})};
   Tensor m = ag::cabs2(a);

@@ -5,6 +5,7 @@
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
+#include "backend/parallel.h"
 #include "common/rng.h"
 
 namespace {
@@ -125,6 +126,63 @@ TEST(MaxPool, StrideAndShape) {
   Tensor y = ag::maxpool2d(x, 2, 2);
   EXPECT_EQ(y.dim(2), 3);
   EXPECT_EQ(y.dim(3), 3);
+}
+
+TEST(MaxPool, AdjointIdentityAndThreadDeterminism) {
+  // <maxpool(x), g> == <x, scatter(g)>: the backward is the exact adjoint of
+  // the selection map, including overlapping windows (stride < k).
+  Rng rng(61);
+  Tensor x = random_tensor({2, 3, 7, 7}, rng);
+  Tensor y = ag::maxpool2d(x, 3, 2);
+  std::vector<float> g(static_cast<std::size_t>(y.numel()));
+  for (auto& v : g) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  y.backward(&g);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    lhs += static_cast<double>(y.data()[i]) * g[i];
+  }
+  // Scatter routes each output grad to its argmax pixel, so <x, gx> equals
+  // <y, g> when every selected pixel value is multiplied once per window
+  // that picked it — verify via a fresh forward under perturbation instead:
+  // directional derivative of <maxpool(x), g> along x equals <gx, x> for
+  // the piecewise-linear pooling (positively homogeneous of degree 1).
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    rhs += static_cast<double>(x.grad()[i]) * x.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+
+  // Threaded backward scatters identically to the serial one.
+  const std::vector<float> gx1 = x.grad();
+  x.zero_grad();
+  {
+    adept::backend::ThreadScope eight(8);
+    Tensor y8 = ag::maxpool2d(x, 3, 2);
+    y8.backward(&g);
+    for (std::size_t i = 0; i < y.data().size(); ++i) {
+      ASSERT_EQ(y.data()[i], y8.data()[i]);
+    }
+  }
+  for (std::size_t i = 0; i < gx1.size(); ++i) ASSERT_EQ(x.grad()[i], gx1[i]);
+}
+
+TEST(AdaptiveAvgPool, ThreadDeterminism) {
+  Rng rng(62);
+  Tensor x = random_tensor({3, 4, 9, 9}, rng);
+  Tensor y = ag::adaptive_avgpool2d(x, 4, 4);
+  std::vector<float> g(static_cast<std::size_t>(y.numel()));
+  for (auto& v : g) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  y.backward(&g);
+  const std::vector<float> gx1 = x.grad();
+  x.zero_grad();
+  {
+    adept::backend::ThreadScope eight(8);
+    Tensor y8 = ag::adaptive_avgpool2d(x, 4, 4);
+    for (std::size_t i = 0; i < y.data().size(); ++i) {
+      ASSERT_EQ(y.data()[i], y8.data()[i]);
+    }
+    y8.backward(&g);
+  }
+  for (std::size_t i = 0; i < gx1.size(); ++i) ASSERT_EQ(x.grad()[i], gx1[i]);
 }
 
 TEST(BatchNorm, NormalizesBatchStatistics) {

@@ -148,6 +148,27 @@ TEST(SuperMesh, ExpectedFootprintRespondsToTheta) {
   EXPECT_LT(mesh.expected_footprint(pdk), base);
 }
 
+TEST(SuperMesh, ExpectedFootprintCacheStableAndInvalidatedByStep) {
+  Rng rng(21);
+  core::SuperMesh mesh(small_config(8, 4, 1), rng);
+  const ph::Pdk pdk = ph::Pdk::amf();
+  // Repeated queries between steps hit the (side, block) cache and must
+  // agree exactly with the first (the SPL legalization inside is seeded).
+  const double first = mesh.expected_footprint(pdk);
+  EXPECT_EQ(mesh.expected_footprint(pdk), first);
+  EXPECT_EQ(mesh.expected_footprint(pdk), first);
+  // Mutating a coupler latent across a step boundary must be reflected: a
+  // begin_step invalidates the cache, so the DC count changes the value.
+  mesh.begin_step(1.0, rng, /*stochastic=*/false);
+  for (auto& t : mesh.topology_weights()) {
+    for (auto& v : t.data()) v = 0.9f;  // all couplers strongly "bar"
+  }
+  mesh.begin_step(1.0, rng, /*stochastic=*/false);
+  const double after = mesh.expected_footprint(pdk);
+  EXPECT_NE(after, first);
+  EXPECT_EQ(mesh.expected_footprint(pdk), after);
+}
+
 TEST(SuperMesh, FootprintPenaltySignsMatchBranch) {
   Rng rng(11);
   core::SuperMesh mesh(small_config(8, 4, 1), rng);
