@@ -21,6 +21,7 @@
 #include "core/reparam.h"
 #include "core/spl.h"
 #include "core/supermesh.h"
+#include "nn/onn_layers.h"
 #include "optim/optimizer.h"
 #include "photonics/builders.h"
 #include "photonics/linalg.h"
@@ -28,6 +29,7 @@
 namespace ag = adept::ag;
 namespace be = adept::backend;
 namespace core = adept::core;
+namespace nn = adept::nn;
 namespace ph = adept::photonics;
 
 namespace {
@@ -419,6 +421,55 @@ adept::bench::JsonRecord cchain_record(std::int64_t k, int blocks) {
   return make_record("cchain_fwdbwd", static_cast<double>(k), 1.0, t_naive, t_f);
 }
 
+adept::bench::JsonRecord cgemm_batched_record() {
+  // Mesh-shaped stack: 16 tiles of [16,16] advancing one block of a shared
+  // chain. Baseline is one cgemm dispatch per tile (the per-tile
+  // weight_expr pattern); backend is a single cgemm_batched over the stack.
+  const std::int64_t tiles = 16, k = 16;
+  adept::Rng rng(9);
+  const std::size_t kk = static_cast<std::size_t>(k * k);
+  const std::size_t tkk = static_cast<std::size_t>(tiles) * kk;
+  std::vector<float> ar(tkk), ai(tkk), br(tkk), bi(tkk), cr(tkk), ci(tkk);
+  for (auto* v : {&ar, &ai, &br, &bi}) {
+    for (auto& x : *v) x = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const double flops = 8.0 * static_cast<double>(tiles) * k * k * k;
+  const double t_naive = adept::bench::time_best([&] {
+    for (std::int64_t t = 0; t < tiles; ++t) {
+      be::cgemm(be::CTrans::N, be::CTrans::N, k, k, k, ar.data() + t * kk,
+                ai.data() + t * kk, k, br.data() + t * kk, bi.data() + t * kk,
+                k, 0.0f, cr.data() + t * kk, ci.data() + t * kk, k);
+    }
+  });
+  const auto t = time_backend([&] {
+    be::cgemm_batched(be::CTrans::N, be::CTrans::N, tiles, k, k, k, ar.data(),
+                      ai.data(), kk, k, br.data(), bi.data(), kk, k, 0.0f,
+                      cr.data(), ci.data(), kk, k);
+  });
+  return make_record("cgemm_f32_batched", static_cast<double>(tiles), flops,
+                     t_naive, t);
+}
+
+// Multi-tile weight build: forward tape construction of a 64x64 ONN weight
+// on a K=16 butterfly topology (16 tiles sharing the topology). Baseline is
+// the per-tile path (one [K,K] chain per tile); backend is the batched path
+// (one [T,K,K] node per chain stage). `*_gflops` fields report weight
+// builds per second.
+adept::bench::JsonRecord weight_expr_record() {
+  adept::Rng rng(10);
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(16));
+  nn::PtcWeight w(64, 64, nn::PtcBinding::fixed(topo), rng);
+  double t_naive;
+  {
+    be::ThreadScope one(1);
+    t_naive = adept::bench::time_best(
+        [&] { benchmark::DoNotOptimize(w.weight_expr_per_tile().data().data()); });
+  }
+  const auto t = time_backend(
+      [&] { benchmark::DoNotOptimize(w.weight_expr().data().data()); });
+  return make_record("weight_expr", 16, 1.0, t_naive, t);
+}
+
 adept::bench::JsonRecord map_record(std::size_t n) {
   adept::Rng rng(3);
   std::vector<float> a(n), out(n);
@@ -482,7 +533,9 @@ int run_json_report(const std::string& path) {
   for (std::int64_t n : {64, 128, 256}) report.add(gemm_bt_record(n));
   for (std::int64_t n : {16, 32, 64}) report.add(cgemm_record(n));
   report.add(gemm_batched_record());
+  report.add(cgemm_batched_record());
   report.add(cchain_record(32, 4));
+  report.add(weight_expr_record());
   report.add(map_record(1u << 20));
   report.add(im2col_record());
   if (!report.write(path, be::num_threads())) {

@@ -97,4 +97,41 @@ CxTensor coupler_column(const Tensor& t, std::int64_t k, std::int64_t start);
 CxTensor row_normalize(const CxTensor& a, float eps = 1e-12f);
 CxTensor col_normalize(const CxTensor& a, float eps = 1e-12f);
 
+// ---- batched ([T,K,K]) chain ops --------------------------------------
+// All tiles of a layer advance through each stage of the U/V block chain as
+// ONE tape node (PtcWeight::weight_expr / SuperMesh::tile_unitary_batched).
+// Every batched op is bit-exact against the per-tile composition it
+// replaces — identical per-element accumulation order in the forward AND in
+// every gradient, including the reverse-tile-order accumulation into
+// operands shared across tiles — so the batched and per-tile weight paths
+// agree to the bit at any thread count (asserted in tests).
+
+// Batched complex matmul: a [T,N,P] x b [T,P,M] -> [T,N,M]. A 2-D b [P,M]
+// is shared across the batch (e.g. the identity seeding a chain). One
+// packed compute node; backward is two batched conjugate-transpose cgemms.
+CxTensor bcmatmul(const CxTensor& a, const CxTensor& b);
+
+// Batched column phase scaling of one shared matrix: out[t] = a @ R(phi[t])
+// with a [N,M] shared and phi a [T,M] phase stack -> [T,N,M].
+CxTensor bcolphase_scale(const CxTensor& a, const Tensor& phi);
+
+// Batched fused block transfer over a [T,K] phase stack: out[t] =
+// P~ @ T @ R(phi[t]). The tile-shared product P~ @ T runs as ONE
+// real-by-complex gemm and the per-tile phase columns are applied as an
+// epilogue — T tiles cost one K^3 gemm plus T*K^2 phase scalings instead of
+// T K^3 gemms.
+CxTensor bblock_transfer(const Tensor& p, const CxTensor& t, const Tensor& phi);
+
+// Batched Gumbel identity mix: out[t] = skip * I + select * block[t] over a
+// [T,K,K] block stack (skip/select scalar [1] tensors shared by all tiles).
+CxTensor bcmix_identity(const Tensor& skip, const Tensor& select,
+                        const CxTensor& block);
+
+// Batched per-tile column scaling by a real [T,M] stack (U diag(Sigma)).
+CxTensor bcscale_cols(const CxTensor& a, const Tensor& s);
+
+// Per-tile row/column l2 normalization of a stacked [T,K,K] tensor.
+CxTensor brow_normalize(const CxTensor& a, float eps = 1e-12f);
+CxTensor bcol_normalize(const CxTensor& a, float eps = 1e-12f);
+
 }  // namespace adept::ag

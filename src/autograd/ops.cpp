@@ -467,6 +467,92 @@ Tensor col_sum(const Tensor& a) {
   });
 }
 
+Tensor tile_col_sum(const Tensor& a) {
+  check(a.ndim() == 3, "tile_col_sum: expects [T,N,M]");
+  const std::int64_t t = a.dim(0), n = a.dim(1), m = a.dim(2);
+  std::vector<float> out(static_cast<std::size_t>(t * m), 0.0f);
+  {
+    const float* ad = a.data().data();
+    float* op = out.data();
+    be::for_each_index(
+        t,
+        [=](std::int64_t ti) {
+          const float* tile = ad + ti * n * m;
+          float* orow = op + ti * m;
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) orow[j] += tile[i * m + j];
+          }
+        },
+        /*grain=*/1);
+  }
+  return make_op(std::move(out), {t, m}, {a}, [a, t, n, m](TensorImpl& o) {
+    if (!a.requires_grad()) return;
+    auto& ga = const_cast<Tensor&>(a).grad();
+    float* gap = ga.data();
+    const float* gp = o.grad.data();
+    be::for_each_index(
+        t,
+        [=](std::int64_t ti) {
+          float* gtile = gap + ti * n * m;
+          const float* grow = gp + ti * m;
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < m; ++j) gtile[i * m + j] += grow[j];
+          }
+        },
+        /*grain=*/1);
+  });
+}
+
+Tensor bscale_cols(const Tensor& a, const Tensor& s) {
+  check(a.ndim() == 3, "bscale_cols: expects [T,N,M]");
+  const std::int64_t t = a.dim(0), n = a.dim(1), m = a.dim(2);
+  check(s.numel() == t * m && s.dim(0) == t, "bscale_cols: s must be [T,M]");
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  {
+    const float* ap = ad.data();
+    const float* sp = s.data().data();
+    float* op = out.data();
+    be::for_each_index(static_cast<std::int64_t>(ad.size()),
+                       [=](std::int64_t idx) {
+                         const std::int64_t ti = idx / (n * m);
+                         op[idx] = ap[idx] * sp[ti * m + idx % m];
+                       });
+  }
+  return make_op(std::move(out), a.shape(), {a, s}, [a, s, t, n, m](TensorImpl& o) {
+    const float* g = o.grad.data();
+    if (a.requires_grad()) {
+      auto& ga = const_cast<Tensor&>(a).grad();
+      float* gap = ga.data();
+      const float* sp = s.data().data();
+      be::for_each_index(static_cast<std::int64_t>(o.grad.size()),
+                         [=](std::int64_t idx) {
+                           const std::int64_t ti = idx / (n * m);
+                           gap[idx] += g[idx] * sp[ti * m + idx % m];
+                         });
+    }
+    if (s.requires_grad()) {
+      // Each (t,j) slot owns its reduction; rows accumulate in ascending
+      // order, matching mul's [N,M] x [1,M] broadcast backward per slot.
+      auto& gs = const_cast<Tensor&>(s).grad();
+      float* gsp = gs.data();
+      const float* ap = a.data().data();
+      be::for_each_index(
+          t * m,
+          [=](std::int64_t slot) {
+            const std::int64_t ti = slot / m, j = slot % m;
+            const float* atile = ap + ti * n * m;
+            const float* gtile = g + ti * n * m;
+            float* dst = gsp + slot;
+            for (std::int64_t i = 0; i < n; ++i) {
+              *dst += gtile[i * m + j] * atile[i * m + j];
+            }
+          },
+          /*grain=*/1);
+    }
+  });
+}
+
 Tensor row_l2_norm(const Tensor& a, float eps) {
   Tensor sq = square(a);
   Tensor s = row_sum(sq);
@@ -654,6 +740,51 @@ Tensor block_matrix(const std::vector<Tensor>& tiles, std::int64_t p, std::int64
                        }
                      }
                    }
+                 });
+}
+
+Tensor block_matrix(const Tensor& stacked, std::int64_t p, std::int64_t q) {
+  check(stacked.ndim() == 3 && stacked.dim(0) == p * q,
+        "block_matrix: stacked must be [P*Q,K,K]");
+  const std::int64_t k = stacked.dim(1);
+  check(stacked.dim(2) == k, "block_matrix: tiles must be square");
+  const std::int64_t rows = p * k, cols = q * k;
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  {
+    const float* sd = stacked.data().data();
+    float* op = out.data();
+    be::for_each_index(
+        p * q,
+        [=](std::int64_t t) {
+          const std::int64_t bp = t / q, bq = t % q;
+          const float* tile = sd + t * k * k;
+          for (std::int64_t i = 0; i < k; ++i) {
+            for (std::int64_t j = 0; j < k; ++j) {
+              op[(bp * k + i) * cols + bq * k + j] = tile[i * k + j];
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+  return make_op(std::move(out), {rows, cols}, {stacked},
+                 [stacked, p, q, k, cols](TensorImpl& o) {
+                   if (!stacked.requires_grad()) return;
+                   auto& gs = const_cast<Tensor&>(stacked).grad();
+                   float* gsp = gs.data();
+                   const float* gp = o.grad.data();
+                   be::for_each_index(
+                       p * q,
+                       [=](std::int64_t t) {
+                         const std::int64_t bp = t / q, bq = t % q;
+                         float* gtile = gsp + t * k * k;
+                         for (std::int64_t i = 0; i < k; ++i) {
+                           for (std::int64_t j = 0; j < k; ++j) {
+                             gtile[i * k + j] +=
+                                 gp[(bp * k + i) * cols + bq * k + j];
+                           }
+                         }
+                       },
+                       /*grain=*/1);
                  });
 }
 

@@ -67,6 +67,10 @@ Tensor col_sum(const Tensor& a);                      // [N,M] -> [1,M]
 // l2 norm of each row: [N,M] -> [N,1] (adds eps inside sqrt for stability).
 Tensor row_l2_norm(const Tensor& a, float eps = 1e-12f);
 Tensor col_l2_norm(const Tensor& a, float eps = 1e-12f);
+// Per-tile column sums of a stacked [T,N,M]: out[t,j] = sum_i a[t,i,j],
+// as [T,M]. The batched analogue of col_sum (same per-column accumulation
+// order, so tile t's slice is bit-exact against col_sum of that tile).
+Tensor tile_col_sum(const Tensor& a);
 
 // ---- softmax family ---------------------------------------------------
 Tensor softmax_rows(const Tensor& a);                 // [N,M] row-wise
@@ -83,6 +87,14 @@ Tensor slice2d(const Tensor& a, std::int64_t r0, std::int64_t rows,
 // Assemble a [P*K, Q*K] matrix from P*Q tiles of shape [K,K], row-major grid.
 Tensor block_matrix(const std::vector<Tensor>& tiles, std::int64_t p,
                     std::int64_t q);
+// Same assembly from one stacked [P*Q,K,K] tensor (tile t = grid cell
+// (t/Q, t%Q)): one tape node instead of P*Q slice parents.
+Tensor block_matrix(const Tensor& stacked, std::int64_t p, std::int64_t q);
+// Per-tile column scaling of a stacked [T,N,M] by s [T,M] (or [T,1,M]):
+// out[t,i,j] = a[t,i,j] * s[t,j]. The batched analogue of the [N,M] x [1,M]
+// row-vector broadcast of mul(); per-slot gradient accumulation follows the
+// same ascending-row order.
+Tensor bscale_cols(const Tensor& a, const Tensor& s);
 // Concatenate 1-D tensors (or [1] scalars) into one vector.
 Tensor concat_vec(const std::vector<Tensor>& parts);
 

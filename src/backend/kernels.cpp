@@ -307,6 +307,128 @@ void rcgemm(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
   }
 }
 
+void cgemm_batched(CTrans ta, CTrans tb, std::int64_t batch, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const float* ar,
+                   const float* ai, std::int64_t stride_a, std::int64_t lda,
+                   const float* br, const float* bi, std::int64_t stride_b,
+                   std::int64_t ldb, float beta, float* cr, float* ci,
+                   std::int64_t stride_c, std::int64_t ldc) {
+  if (batch <= 0 || m <= 0 || n <= 0) return;
+  const std::int64_t rows = batch * m;
+  auto scale_row = [&](float* rrow, float* irow) {
+    scale_row_beta(beta, n, rrow);
+    scale_row_beta(beta, n, irow);
+  };
+  if (k <= 0) {
+    parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const std::int64_t t = r / m, i = r % m;
+        scale_row(cr + t * stride_c + i * ldc, ci + t * stride_c + i * ldc);
+      }
+    });
+    return;
+  }
+  const bool shared_b = stride_b == 0;
+  // Transposed/conjugated op(B) panels are packed into planar scratch per
+  // k-panel — once for a shared operand, per batch item otherwise — so the
+  // inner axpy always streams unit-stride memory, exactly like cgemm's pack
+  // (identical packed values, so per-element products match a per-item
+  // cgemm call bit for bit). The two-step k pairing below matches cgemm's
+  // accumulation order, completing the bit-exactness guarantee.
+  std::vector<float> bpack;
+  const bool pack_b = tb != CTrans::N;
+  const std::int64_t kc_max = std::min(kKBlock, k);
+  const std::int64_t pack_items = shared_b ? 1 : batch;
+  if (pack_b) {
+    bpack.resize(static_cast<std::size_t>(pack_items * 2 * kc_max * n));
+  }
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t kc = std::min(kKBlock, k - k0);
+    if (pack_b) {
+      const float isign = tb == CTrans::H ? -1.0f : 1.0f;
+      float* pk = bpack.data();
+      parallel_for(pack_items * kc, kRowBlock, [=](std::int64_t q0, std::int64_t q1) {
+        for (std::int64_t q = q0; q < q1; ++q) {
+          const std::int64_t item = q / kc, kk = q % kc;
+          const float* rb = br + item * stride_b;
+          const float* ib = bi + item * stride_b;
+          float* pr = pk + item * 2 * kc * n;
+          float* pi = pr + kc * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            pr[kk * n + j] = rb[j * ldb + k0 + kk];
+            pi[kk * n + j] = isign * ib[j * ldb + k0 + kk];
+          }
+        }
+      });
+    }
+    parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const std::int64_t t = r / m, i = r % m;
+        const float* tar = ar + t * stride_a;
+        const float* tai = ai + t * stride_a;
+        float* crow = cr + t * stride_c + i * ldc;
+        float* cirow = ci + t * stride_c + i * ldc;
+        if (k0 == 0) scale_row(crow, cirow);
+        const float *bpr, *bpi;
+        std::int64_t bstride;
+        if (pack_b) {
+          bpr = bpack.data() + (shared_b ? 0 : t * 2 * kc * n);
+          bpi = bpr + kc * n;
+          bstride = n;
+        } else {
+          bpr = br + t * stride_b + k0 * ldb;
+          bpi = bi + t * stride_b + k0 * ldb;
+          bstride = ldb;
+        }
+        auto opa = [&](std::int64_t kk, float& re, float& im) {
+          if (ta == CTrans::N) {
+            re = tar[i * lda + k0 + kk];
+            im = tai[i * lda + k0 + kk];
+          } else {
+            re = tar[(k0 + kk) * lda + i];
+            im = tai[(k0 + kk) * lda + i];
+            if (ta == CTrans::H) im = -im;
+          }
+        };
+        std::int64_t kk = 0;
+        // Same two-k-step pairing as cgemm: per-element accumulation in
+        // ascending kk order with two += per pass — required for the
+        // bit-exactness guarantee against per-item cgemm calls.
+        for (; kk + 1 < kc; kk += 2) {
+          float a0, a0i, a1, a1i;
+          opa(kk, a0, a0i);
+          opa(kk + 1, a1, a1i);
+          if (a0 == 0.0f && a0i == 0.0f && a1 == 0.0f && a1i == 0.0f) continue;
+          const float* b0r = bpr + kk * bstride;
+          const float* b0i = bpi + kk * bstride;
+          const float* b1r = b0r + bstride;
+          const float* b1i = b0i + bstride;
+          for (std::int64_t j = 0; j < n; ++j) {
+            float re = crow[j], im = cirow[j];
+            re += a0 * b0r[j] - a0i * b0i[j];
+            im += a0 * b0i[j] + a0i * b0r[j];
+            re += a1 * b1r[j] - a1i * b1i[j];
+            im += a1 * b1i[j] + a1i * b1r[j];
+            crow[j] = re;
+            cirow[j] = im;
+          }
+        }
+        for (; kk < kc; ++kk) {
+          float av, avi;
+          opa(kk, av, avi);
+          if (av == 0.0f && avi == 0.0f) continue;
+          const float* brow = bpr + kk * bstride;
+          const float* birow = bpi + kk * bstride;
+          for (std::int64_t j = 0; j < n; ++j) {
+            crow[j] += av * brow[j] - avi * birow[j];
+            cirow[j] += av * birow[j] + avi * brow[j];
+          }
+        }
+      }
+    });
+  }
+}
+
 void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
                   std::int64_t k, const float* a, std::int64_t stride_a,
                   std::int64_t lda, Trans tb, const float* b, std::int64_t ldb,

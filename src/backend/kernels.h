@@ -65,6 +65,24 @@ void rcgemm(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
             std::int64_t ldc, const float* col_cos = nullptr,
             const float* col_sin = nullptr);
 
+// Batched planar complex gemm: C[t] = op(A[t]) @ op(B[t]) + beta * C[t] for
+// t in [0, batch). Operand planes are [batch, m, k] / [batch, k, n] stacks
+// with physical batch strides `stride_a` / `stride_b` (rows inside one item
+// stride by `lda` / `ldb`); a batch stride of 0 shares that operand across
+// the whole batch — the shared-operand analogue of `gemm_batched`'s panel
+// reuse (a shared transposed/conjugated op(B) is packed once per k-panel
+// for all batch items). The row/k chunking spans the whole [batch*m] row
+// space so tiny per-tile products still fill whole chunks, and the
+// per-element accumulation order (two-step k pairing) is identical to
+// `cgemm`, making a batched call bit-exact against per-item cgemm calls at
+// any thread count.
+void cgemm_batched(CTrans ta, CTrans tb, std::int64_t batch, std::int64_t m,
+                   std::int64_t n, std::int64_t k, const float* ar,
+                   const float* ai, std::int64_t stride_a, std::int64_t lda,
+                   const float* br, const float* bi, std::int64_t stride_b,
+                   std::int64_t ldb, float beta, float* cr, float* ci,
+                   std::int64_t stride_c, std::int64_t ldc);
+
 // Batched gemm with a shared right operand: C[b] = A[b] @ op(B) + beta*C[b]
 // for b in [0, batch). A is [batch, m, k] with physical batch stride
 // `stride_a` (rows inside a batch stride by `lda`), C likewise. The row/k

@@ -1,0 +1,13 @@
+#include "common/version.h"
+
+namespace adept {
+
+namespace {
+std::uint64_t g_param_version = 1;  // mutation sites run single-threaded
+}  // namespace
+
+std::uint64_t param_version() { return g_param_version; }
+
+void bump_param_version() { ++g_param_version; }
+
+}  // namespace adept

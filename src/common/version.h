@@ -1,0 +1,25 @@
+// Global parameter/noise version counter for eval-time caches.
+//
+// Materialized-weight caches (see nn::PtcWeight) must know when any
+// trainable parameter or noise stream may have changed. Instead of hashing
+// tensors, every mutation site bumps one process-wide monotonic counter:
+// optimizer steps, SuperMesh::begin_step / legalize_permutations, and the
+// phase-noise setters. A cache stores the counter value it was built at and
+// rebuilds when the current value differs.
+//
+// Code that mutates parameter data() buffers directly (tests, custom
+// loops) must call bump_param_version() itself before relying on cached
+// evaluation paths.
+#pragma once
+
+#include <cstdint>
+
+namespace adept {
+
+// Current version (monotonic, starts at 1 so 0 can mean "never built").
+std::uint64_t param_version();
+
+// Record that parameters / noise state may have changed.
+void bump_param_version();
+
+}  // namespace adept

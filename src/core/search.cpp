@@ -1,6 +1,7 @@
 #include "core/search.h"
 
 #include <cmath>
+#include <numbers>
 
 #include "optim/optimizer.h"
 #include "optim/schedule.h"
@@ -135,7 +136,8 @@ void MatrixFitTask::bind(SuperMesh& mesh) {
       for (int b = 0; b < nb; ++b) {
         std::vector<float> phi(static_cast<std::size_t>(k));
         for (auto& p : phi) {
-          p = static_cast<float>(rng_.uniform(-3.14159265, 3.14159265));
+          p = static_cast<float>(
+              rng_.uniform(-std::numbers::pi, std::numbers::pi));
         }
         phases.push_back(ag::make_tensor(std::move(phi), {k}, true));
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/version.h"
 #include "core/dc_binarize.h"
 #include "core/reparam.h"
 
@@ -110,8 +111,10 @@ void SuperMesh::begin_step(double tau, adept::Rng& rng, bool stochastic) {
   step_v_ = make_step(v_, tau, rng, stochastic);
   step_ready_ = true;
   // Parameters move once per optimization step (between begin_step calls),
-  // so the hard footprint counts cached for the previous step are stale now.
+  // so the hard footprint counts cached for the previous step are stale now,
+  // and so is any materialized weight built from the old step expressions.
   invalidate_footprint_cache();
+  adept::bump_param_version();
 }
 
 CxTensor SuperMesh::tile_unitary(Side side, const std::vector<Tensor>& phases) const {
@@ -140,6 +143,42 @@ CxTensor SuperMesh::tile_unitary(Side side, const std::vector<Tensor>& phases) c
   if (config_.normalize_unitaries && !perms_frozen_) {
     // Approximate-unitary statistics stabilization (Sec. 3.3.2).
     acc = side == Side::u ? ag::row_normalize(acc) : ag::col_normalize(acc);
+  }
+  return acc;
+}
+
+CxTensor SuperMesh::tile_unitary_batched(
+    Side side, const std::vector<Tensor>& phase_stacks) const {
+  ag::check(step_ready_, "tile_unitary_batched: call begin_step first");
+  const StepState& s = step(side);
+  const int nb = config_.super_blocks_per_unitary;
+  ag::check(static_cast<int>(phase_stacks.size()) == nb,
+            "tile_unitary_batched: need one [T,K] phase stack per block");
+  const std::int64_t k = config_.k;
+  ag::check(!phase_stacks.empty() && phase_stacks[0].ndim() == 2 &&
+                phase_stacks[0].dim(1) == k,
+            "tile_unitary_batched: phase stacks must be [T,K]");
+  const std::int64_t tiles = phase_stacks[0].dim(0);
+  // The chain seeds from ONE shared identity (bcmatmul broadcasts a 2-D
+  // right operand), so even the first product runs the same accumulation as
+  // the per-tile cmatmul-with-eye and stays bit-exact against it.
+  CxTensor acc = CxTensor::eye(k);
+  for (int b = 0; b < nb; ++b) {
+    CxTensor block =
+        ag::bblock_transfer(s.p_tilde[static_cast<std::size_t>(b)],
+                            s.coupler_mat[static_cast<std::size_t>(b)],
+                            phase_stacks[static_cast<std::size_t>(b)]);
+    ag::check(block.dim(0) == tiles,
+              "tile_unitary_batched: phase stacks disagree on tile count");
+    CxTensor mixed =
+        block_always_on(b)
+            ? block
+            : ag::bcmix_identity(s.skip[static_cast<std::size_t>(b)],
+                                 s.select[static_cast<std::size_t>(b)], block);
+    acc = ag::bcmatmul(mixed, acc);
+  }
+  if (config_.normalize_unitaries && !perms_frozen_) {
+    acc = side == Side::u ? ag::brow_normalize(acc) : ag::bcol_normalize(acc);
   }
   return acc;
 }
@@ -259,6 +298,7 @@ void SuperMesh::legalize_permutations(adept::Rng& rng, const SplConfig& spl) {
   perms_frozen_ = true;
   step_ready_ = false;  // cached expressions refer to the old parameters
   invalidate_footprint_cache();
+  adept::bump_param_version();
 }
 
 PtcTopology SuperMesh::sample_topology(adept::Rng& rng, const photonics::Pdk& pdk,

@@ -76,6 +76,14 @@ class SuperMesh {
   // caller-owned). Builds on the expressions cached by begin_step.
   ag::CxTensor tile_unitary(Side side, const std::vector<ag::Tensor>& phases) const;
 
+  // Stacked unitaries [T,K,K] for all T tiles of a layer at once:
+  // `phase_stacks[b]` is a [T,K] phase stack for block b (caller-owned).
+  // Every block advances ALL tiles through one batched tape node
+  // (bblock_transfer / bcmix_identity / bcmatmul) instead of T scalar
+  // chains; bit-exact against T tile_unitary calls, values and gradients.
+  ag::CxTensor tile_unitary_batched(
+      Side side, const std::vector<ag::Tensor>& phase_stacks) const;
+
   // All reparametrized permutations of the current step (U blocks then V),
   // for the ALM penalty.
   std::vector<ag::Tensor> all_relaxed_perms() const;

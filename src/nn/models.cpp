@@ -12,6 +12,23 @@ void OnnModel::set_phase_noise(double sigma, std::uint64_t seed) {
   for (auto* layer : onn_layers) layer->set_phase_noise(sigma, s++);
 }
 
+void OnnModel::set_phase_noise_sigma(double sigma) {
+  for (auto* layer : onn_layers) layer->set_phase_noise_sigma(sigma);
+}
+
+std::vector<PhaseNoiseState> OnnModel::save_phase_noise() const {
+  std::vector<PhaseNoiseState> states;
+  states.reserve(onn_layers.size());
+  for (const auto* layer : onn_layers) states.push_back(layer->phase_noise_state());
+  return states;
+}
+
+void OnnModel::restore_phase_noise(const std::vector<PhaseNoiseState>& states) {
+  for (std::size_t i = 0; i < onn_layers.size() && i < states.size(); ++i) {
+    onn_layers[i]->restore_phase_noise(states[i]);
+  }
+}
+
 namespace {
 
 // Track spatial size through valid convs / pools.

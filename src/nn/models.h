@@ -26,8 +26,16 @@ struct OnnModel {
 
   std::vector<ag::Tensor> parameters() { return net->parameters(); }
   void set_training(bool training) { net->set_training(training); }
-  // Variation-aware noise on every photonic layer (0 disables).
+  bool training() const { return net->training(); }
+  // Variation-aware noise on every photonic layer (0 disables); re-arms
+  // every layer's drift stream from `seed`.
   void set_phase_noise(double sigma, std::uint64_t seed);
+  // Change sigma only, keeping each layer's drift stream position (nominal
+  // evaluations toggle noise off/on without replaying the stream).
+  void set_phase_noise_sigma(double sigma);
+  // Push/pop of the full per-layer noise state (sigma + stream).
+  std::vector<PhaseNoiseState> save_phase_noise() const;
+  void restore_phase_noise(const std::vector<PhaseNoiseState>& states);
 };
 
 OnnModel make_proxy_cnn(int in_channels, int image_hw, int classes,

@@ -1,7 +1,9 @@
 #include "nn/onn_layers.h"
 
 #include <cmath>
+#include <numbers>
 
+#include "common/version.h"
 #include "nn/layers.h"
 #include "photonics/devices.h"
 
@@ -51,10 +53,20 @@ CxTensor block_pt_constant(const BlockSpec& block, int k) {
           ag::make_tensor(std::move(im), {k, k}, false)};
 }
 
-Tensor random_phases(std::int64_t k, adept::Rng& rng) {
-  std::vector<float> phi(static_cast<std::size_t>(k));
-  for (auto& p : phi) p = static_cast<float>(rng.uniform(-3.14159265, 3.14159265));
-  return ag::make_tensor(std::move(phi), {k}, /*requires_grad=*/true);
+float random_phase(adept::Rng& rng) {
+  return static_cast<float>(rng.uniform(-std::numbers::pi, std::numbers::pi));
+}
+
+// Stacked identity [T,K,K] (empty block chains degenerate to it).
+CxTensor stacked_eye(std::int64_t tiles, std::int64_t k) {
+  std::vector<float> re(static_cast<std::size_t>(tiles * k * k), 0.0f);
+  for (std::int64_t t = 0; t < tiles; ++t) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      re[static_cast<std::size_t>((t * k + i) * k + i)] = 1.0f;
+    }
+  }
+  return {ag::make_tensor(std::move(re), {tiles, k, k}, false),
+          Tensor::zeros({tiles, k, k})};
 }
 
 }  // namespace
@@ -87,37 +99,87 @@ PtcWeight::PtcWeight(std::int64_t out_features, std::int64_t in_features,
   const float sigma_init = static_cast<float>(
       std::sqrt(2.0 * static_cast<double>(k) / static_cast<double>(std::max<std::int64_t>(in_, 1))));
   const std::int64_t tiles = p_ * q_;
+  // Parameters live as per-block [T,K] stacks; the RNG is still consumed in
+  // the historical tile-major order (all of tile 0's phases and sigma, then
+  // tile 1's, ...) so initialization matches the per-tile-storage layout.
+  const std::size_t kz = static_cast<std::size_t>(k);
+  std::vector<std::vector<float>> pu(blocks_u), pv(blocks_v);
+  for (auto& s : pu) s.resize(static_cast<std::size_t>(tiles) * kz);
+  for (auto& s : pv) s.resize(static_cast<std::size_t>(tiles) * kz);
+  std::vector<float> sig(static_cast<std::size_t>(tiles) * kz);
   for (std::int64_t t = 0; t < tiles; ++t) {
-    std::vector<Tensor> pu, pv;
-    for (std::size_t b = 0; b < blocks_u; ++b) pu.push_back(random_phases(k, rng));
-    for (std::size_t b = 0; b < blocks_v; ++b) pv.push_back(random_phases(k, rng));
-    phi_u_.push_back(std::move(pu));
-    phi_v_.push_back(std::move(pv));
-    std::vector<float> sig(static_cast<std::size_t>(k));
-    for (auto& s : sig) {
-      s = sigma_init * static_cast<float>(rng.uniform(0.5, 1.5)) *
+    for (std::size_t b = 0; b < blocks_u; ++b) {
+      for (std::size_t i = 0; i < kz; ++i) {
+        pu[b][static_cast<std::size_t>(t) * kz + i] = random_phase(rng);
+      }
+    }
+    for (std::size_t b = 0; b < blocks_v; ++b) {
+      for (std::size_t i = 0; i < kz; ++i) {
+        pv[b][static_cast<std::size_t>(t) * kz + i] = random_phase(rng);
+      }
+    }
+    for (std::size_t i = 0; i < kz; ++i) {
+      sig[static_cast<std::size_t>(t) * kz + i] =
+          sigma_init * static_cast<float>(rng.uniform(0.5, 1.5)) *
           (rng.bernoulli(0.5) ? 1.0f : -1.0f);
     }
-    sigma_.push_back(ag::make_tensor(std::move(sig), {1, k}, true));
   }
+  for (auto& s : pu) phi_u_.push_back(ag::make_tensor(std::move(s), {tiles, k}, true));
+  for (auto& s : pv) phi_v_.push_back(ag::make_tensor(std::move(s), {tiles, k}, true));
+  sigma_ = ag::make_tensor(std::move(sig), {tiles, k}, true);
 }
 
 void PtcWeight::set_phase_noise(double sigma, std::uint64_t seed) {
   noise_sigma_ = sigma;
   noise_rng_ = adept::Rng(seed);
+  adept::bump_param_version();
 }
 
-CxTensor PtcWeight::fixed_tile_unitary(const std::vector<BlockSpec>& blocks,
-                                       const std::vector<CxTensor>& pt_consts,
+void PtcWeight::set_phase_noise_sigma(double sigma) {
+  if (sigma == noise_sigma_) return;
+  noise_sigma_ = sigma;
+  adept::bump_param_version();
+}
+
+void PtcWeight::restore_phase_noise(const PhaseNoiseState& state) {
+  // The stream position only affects outputs while noise is active, so a
+  // 0 -> 0 restore keeps the eval-weight cache valid.
+  const bool observable = state.sigma != noise_sigma_ || state.sigma > 0.0;
+  noise_sigma_ = state.sigma;
+  noise_rng_ = state.rng;
+  if (observable) adept::bump_param_version();
+}
+
+CxTensor PtcWeight::batched_fixed_unitary(const std::vector<CxTensor>& pt_consts,
+                                          const std::vector<Tensor>& phase_stacks) {
+  const std::int64_t k = binding_.k;
+  if (pt_consts.empty()) return stacked_eye(p_ * q_, k);
+  CxTensor acc = CxTensor::eye(k);  // shared seed, broadcast by bcmatmul
+  for (std::size_t b = 0; b < pt_consts.size(); ++b) {
+    Tensor phi = phase_stacks[b];
+    if (noise_sigma_ > 0.0) {
+      std::vector<float> drift(static_cast<std::size_t>(phi.numel()));
+      for (auto& d : drift) d = static_cast<float>(noise_rng_.normal(0.0, noise_sigma_));
+      phi = ag::add(phi, ag::make_tensor(std::move(drift), phi.shape(), false));
+    }
+    // Block transfer (P*T) * R(phi_t) for all tiles: one batched column
+    // scaling of the shared P*T constant.
+    CxTensor scaled = ag::bcolphase_scale(pt_consts[b], phi);
+    acc = ag::bcmatmul(scaled, acc);
+  }
+  return acc;
+}
+
+CxTensor PtcWeight::fixed_tile_unitary(const std::vector<CxTensor>& pt_consts,
                                        const std::vector<Tensor>& phases) {
   const std::int64_t k = binding_.k;
   CxTensor acc = CxTensor::eye(k);
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
+  for (std::size_t b = 0; b < pt_consts.size(); ++b) {
     Tensor phi = phases[b];
     if (noise_sigma_ > 0.0) {
       std::vector<float> drift(static_cast<std::size_t>(k));
       for (auto& d : drift) d = static_cast<float>(noise_rng_.normal(0.0, noise_sigma_));
-      phi = ag::add(phi, ag::make_tensor(std::move(drift), {k}, false));
+      phi = ag::add(phi, ag::make_tensor(std::move(drift), phi.shape(), false));
     }
     // Block transfer (P*T) * R(phi); R diagonal => fused column scaling.
     CxTensor scaled = ag::colphase_scale(pt_consts[b], phi);
@@ -126,26 +188,65 @@ CxTensor PtcWeight::fixed_tile_unitary(const std::vector<BlockSpec>& blocks,
   return acc;
 }
 
+Tensor PtcWeight::build_weight() {
+  const std::int64_t k = binding_.k;
+  CxTensor u, v;
+  if (binding_.kind == PtcBinding::Kind::ptc) {
+    u = batched_fixed_unitary(pt_u_, phi_u_);
+    v = batched_fixed_unitary(pt_v_, phi_v_);
+  } else {
+    u = binding_.supermesh->tile_unitary_batched(core::Side::u, phi_u_);
+    v = binding_.supermesh->tile_unitary_batched(core::Side::v, phi_v_);
+  }
+  // W[t] = U[t] * diag(sigma[t]) * V[t]; diag => column scaling of U.
+  CxTensor us = ag::bcscale_cols(u, sigma_);
+  CxTensor w = ag::bcmatmul(us, v);
+  Tensor blocked = ag::block_matrix(w.re, p_, q_);  // [p*K, q*K]
+  if (p_ * k == out_ && q_ * k == in_) return blocked;
+  return ag::slice2d(blocked, 0, out_, 0, in_);
+}
+
 Tensor PtcWeight::weight_expr() {
+  if (binding_.kind == PtcBinding::Kind::dense) return dense_weight_;
+  // Under NoGradGuard with noise off the materialized weight is a pure
+  // function of the parameter/noise version: reuse it until something bumps
+  // adept::param_version() (optimizer step, begin_step, noise setters).
+  const bool cacheable = !ag::GradMode::enabled() && noise_sigma_ == 0.0;
+  if (cacheable && cached_weight_.defined() &&
+      cached_version_ == adept::param_version()) {
+    return cached_weight_;
+  }
+  Tensor w = build_weight();
+  if (cacheable) {
+    cached_weight_ = w;
+    cached_version_ = adept::param_version();
+  }
+  return w;
+}
+
+Tensor PtcWeight::weight_expr_per_tile() {
   if (binding_.kind == PtcBinding::Kind::dense) return dense_weight_;
   const std::int64_t k = binding_.k;
   std::vector<Tensor> tiles;
   tiles.reserve(static_cast<std::size_t>(p_ * q_));
   for (std::int64_t t = 0; t < p_ * q_; ++t) {
+    // Row t of each [T,K] stack as this tile's [1,K] phase vectors.
+    auto tile_rows_of = [&](const std::vector<Tensor>& stacks) {
+      std::vector<Tensor> rows;
+      rows.reserve(stacks.size());
+      for (const auto& s : stacks) rows.push_back(ag::slice2d(s, t, 1, 0, k));
+      return rows;
+    };
     CxTensor u, v;
     if (binding_.kind == PtcBinding::Kind::ptc) {
-      u = fixed_tile_unitary(binding_.topology->u_blocks, pt_u_,
-                             phi_u_[static_cast<std::size_t>(t)]);
-      v = fixed_tile_unitary(binding_.topology->v_blocks, pt_v_,
-                             phi_v_[static_cast<std::size_t>(t)]);
+      u = fixed_tile_unitary(pt_u_, tile_rows_of(phi_u_));
+      v = fixed_tile_unitary(pt_v_, tile_rows_of(phi_v_));
     } else {
-      u = binding_.supermesh->tile_unitary(core::Side::u,
-                                           phi_u_[static_cast<std::size_t>(t)]);
-      v = binding_.supermesh->tile_unitary(core::Side::v,
-                                           phi_v_[static_cast<std::size_t>(t)]);
+      u = binding_.supermesh->tile_unitary(core::Side::u, tile_rows_of(phi_u_));
+      v = binding_.supermesh->tile_unitary(core::Side::v, tile_rows_of(phi_v_));
     }
     // W = U * diag(sigma) * V; diag => column scaling of U.
-    CxTensor us = ag::cscale(u, sigma_[static_cast<std::size_t>(t)]);
+    CxTensor us = ag::cscale(u, ag::slice2d(sigma_, t, 1, 0, k));
     CxTensor w = ag::cmatmul(us, v);
     tiles.push_back(w.re);  // coherent detection keeps the real part
   }
@@ -157,13 +258,9 @@ Tensor PtcWeight::weight_expr() {
 std::vector<Tensor> PtcWeight::parameters() {
   if (binding_.kind == PtcBinding::Kind::dense) return {dense_weight_};
   std::vector<Tensor> out;
-  for (auto& tile : phi_u_) {
-    for (auto& p : tile) out.push_back(p);
-  }
-  for (auto& tile : phi_v_) {
-    for (auto& p : tile) out.push_back(p);
-  }
-  for (auto& s : sigma_) out.push_back(s);
+  for (auto& p : phi_u_) out.push_back(p);
+  for (auto& p : phi_v_) out.push_back(p);
+  out.push_back(sigma_);
   return out;
 }
 
@@ -192,6 +289,18 @@ std::vector<Tensor> ONNLinear::parameters() {
 
 void ONNLinear::set_phase_noise(double sigma, std::uint64_t seed) {
   weight_.set_phase_noise(sigma, seed);
+}
+
+void ONNLinear::set_phase_noise_sigma(double sigma) {
+  weight_.set_phase_noise_sigma(sigma);
+}
+
+PhaseNoiseState ONNLinear::phase_noise_state() const {
+  return weight_.phase_noise_state();
+}
+
+void ONNLinear::restore_phase_noise(const PhaseNoiseState& state) {
+  weight_.restore_phase_noise(state);
 }
 
 ONNConv2d::ONNConv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -225,6 +334,18 @@ std::vector<Tensor> ONNConv2d::parameters() {
 
 void ONNConv2d::set_phase_noise(double sigma, std::uint64_t seed) {
   weight_.set_phase_noise(sigma, seed);
+}
+
+void ONNConv2d::set_phase_noise_sigma(double sigma) {
+  weight_.set_phase_noise_sigma(sigma);
+}
+
+PhaseNoiseState ONNConv2d::phase_noise_state() const {
+  return weight_.phase_noise_state();
+}
+
+void ONNConv2d::restore_phase_noise(const PhaseNoiseState& state) {
+  weight_.restore_phase_noise(state);
 }
 
 }  // namespace adept::nn

@@ -14,6 +14,13 @@
 //              training and robustness evaluation (Fig. 4)
 //   supermesh  a live core::SuperMesh being searched (ADEPT training); the
 //              caller drives SuperMesh::begin_step once per optimization step
+//
+// Phases are stored as per-block [T,K] stacks (T = tile count), so all
+// tiles advance through each block of the U/V chains as ONE batched tape
+// node (bblock_transfer / bcolphase_scale / bcmatmul) instead of T scalar
+// chains. Under NoGradGuard with noise disabled, the materialized [out,in]
+// weight is cached and keyed on adept::param_version() — evaluation loops
+// rebuild the mesh once per parameter change instead of once per batch.
 #pragma once
 
 #include <memory>
@@ -38,27 +45,54 @@ struct PtcBinding {
   static PtcBinding searched(core::SuperMesh* mesh);
 };
 
+// Snapshot of a layer's phase-noise configuration INCLUDING the drift
+// stream position. Evaluation helpers push/pop this so a nominal eval in
+// the middle of variation-aware training neither resets nor advances the
+// training noise stream.
+struct PhaseNoiseState {
+  double sigma = 0.0;
+  adept::Rng rng;
+};
+
 // Builds the blocked weight expression for one logical weight matrix.
 class PtcWeight {
  public:
   PtcWeight(std::int64_t out_features, std::int64_t in_features,
             const PtcBinding& binding, adept::Rng& rng);
 
-  // Weight expression [out, in] for the current step. Rebuilt per forward.
+  // Weight expression [out, in] for the current step: the batched path (one
+  // tape node per chain stage for all tiles). Rebuilt per forward while
+  // gradients are tracked; cached per parameter/noise version under
+  // NoGradGuard with noise off.
   ag::Tensor weight_expr();
+  // Reference implementation building each tile's chain separately (the
+  // pre-batching tape). With phase noise off it is bit-exact against
+  // weight_expr — values and gradients — at any thread count; kept for
+  // tests and the perf benches. Under noise the two paths consume the
+  // drift stream in different orders (per-tile vs per-block) and produce
+  // different, equally-distributed drift.
+  ag::Tensor weight_expr_per_tile();
   std::vector<ag::Tensor> parameters();
 
   // Gaussian phase drift injected into every phase shifter on each forward
-  // (0 disables). Applies to Kind::ptc only.
+  // (0 disables). Re-arms the drift stream from `seed`. Applies to
+  // Kind::ptc only.
   void set_phase_noise(double sigma, std::uint64_t seed);
+  // Change sigma WITHOUT touching the stored drift stream (push/pop
+  // support for nominal evaluations).
+  void set_phase_noise_sigma(double sigma);
+  PhaseNoiseState phase_noise_state() const { return {noise_sigma_, noise_rng_}; }
+  void restore_phase_noise(const PhaseNoiseState& state);
   double phase_noise() const { return noise_sigma_; }
 
   std::int64_t tile_rows() const { return p_; }
   std::int64_t tile_cols() const { return q_; }
 
  private:
-  ag::CxTensor fixed_tile_unitary(const std::vector<photonics::BlockSpec>& blocks,
-                                  const std::vector<ag::CxTensor>& pt_consts,
+  ag::Tensor build_weight();  // batched chain, no cache logic
+  ag::CxTensor batched_fixed_unitary(const std::vector<ag::CxTensor>& pt_consts,
+                                     const std::vector<ag::Tensor>& phase_stacks);
+  ag::CxTensor fixed_tile_unitary(const std::vector<ag::CxTensor>& pt_consts,
                                   const std::vector<ag::Tensor>& phases);
 
   std::int64_t out_, in_, p_, q_;
@@ -68,11 +102,16 @@ class PtcWeight {
 
   // dense
   ag::Tensor dense_weight_;
-  // ptc / supermesh: per tile, per block phase vectors for U and V + Sigma
-  std::vector<std::vector<ag::Tensor>> phi_u_, phi_v_;  // [tile][block] -> [K]
-  std::vector<ag::Tensor> sigma_;                       // [tile] -> [1,K]
+  // ptc / supermesh: per-block [T,K] phase stacks (T = p_*q_ tiles) for U
+  // and V, and the [T,K] Sigma stack.
+  std::vector<ag::Tensor> phi_u_, phi_v_;  // [block] -> [T,K]
+  ag::Tensor sigma_;                       // [T,K]
   // ptc: precomputed constant P*T complex matrices per block
   std::vector<ag::CxTensor> pt_u_, pt_v_;
+
+  // Materialized eval-weight cache (see header comment).
+  ag::Tensor cached_weight_;
+  std::uint64_t cached_version_ = 0;
 };
 
 // Base for ONN layers exposing noise control (used by variation-aware
@@ -80,6 +119,9 @@ class PtcWeight {
 class OnnLayer : public Module {
  public:
   virtual void set_phase_noise(double sigma, std::uint64_t seed) = 0;
+  virtual void set_phase_noise_sigma(double sigma) = 0;
+  virtual PhaseNoiseState phase_noise_state() const = 0;
+  virtual void restore_phase_noise(const PhaseNoiseState& state) = 0;
 };
 
 class ONNLinear : public OnnLayer {
@@ -89,6 +131,10 @@ class ONNLinear : public OnnLayer {
   ag::Tensor forward(const ag::Tensor& x) override;  // [N,in] -> [N,out]
   std::vector<ag::Tensor> parameters() override;
   void set_phase_noise(double sigma, std::uint64_t seed) override;
+  void set_phase_noise_sigma(double sigma) override;
+  PhaseNoiseState phase_noise_state() const override;
+  void restore_phase_noise(const PhaseNoiseState& state) override;
+  PtcWeight& weight() { return weight_; }
 
  private:
   std::int64_t in_, out_;
@@ -104,6 +150,10 @@ class ONNConv2d : public OnnLayer {
   ag::Tensor forward(const ag::Tensor& x) override;  // [N,C,H,W]
   std::vector<ag::Tensor> parameters() override;
   void set_phase_noise(double sigma, std::uint64_t seed) override;
+  void set_phase_noise_sigma(double sigma) override;
+  PhaseNoiseState phase_noise_state() const override;
+  void restore_phase_noise(const PhaseNoiseState& state) override;
+  PtcWeight& weight() { return weight_; }
 
  private:
   std::int64_t in_c_, out_c_, k_, stride_, pad_;

@@ -41,10 +41,11 @@ TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train
       ++step;
     }
     stats.train_loss_per_epoch.push_back(epoch_loss / std::max(1, nb));
-    const double noise = config.train_phase_noise;
-    if (noise > 0.0) model.set_phase_noise(0.0, 0);  // nominal evaluation
+    // evaluate_accuracy runs nominally (it pushes sigma to 0 and pops the
+    // full noise state afterwards), so the variation-aware drift stream
+    // armed before the epoch loop keeps advancing across epochs instead of
+    // replaying the same seed every epoch.
     stats.test_accuracy_per_epoch.push_back(evaluate_accuracy(model, test_set));
-    if (noise > 0.0) model.set_phase_noise(noise, config.seed ^ 0xbeef);
     if (config.verbose) {
       std::printf("  epoch %d: loss %.4f acc %.4f\n", epoch,
                   stats.train_loss_per_epoch.back(),
@@ -60,8 +61,19 @@ TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train
 double evaluate_accuracy(OnnModel& model, const data::SyntheticDataset& dataset,
                          int batch_size, double noise_sigma, std::uint64_t noise_seed) {
   ag::NoGradGuard guard;
+  // Evaluation must leave the model exactly as it found it: restore the
+  // caller's training mode (not unconditionally `true`) and pop the full
+  // phase-noise state (sigma AND drift stream) so a nominal eval in the
+  // middle of variation-aware training neither resets nor advances the
+  // training noise stream.
+  const bool was_training = model.training();
   model.set_training(false);
-  if (noise_sigma > 0.0) model.set_phase_noise(noise_sigma, noise_seed);
+  const auto saved_noise = model.save_phase_noise();
+  if (noise_sigma > 0.0) {
+    model.set_phase_noise(noise_sigma, noise_seed);
+  } else {
+    model.set_phase_noise_sigma(0.0);  // nominal eval, streams untouched
+  }
   data::DataLoader loader(dataset, batch_size);
   double correct_weighted = 0.0;
   int total = 0;
@@ -72,8 +84,8 @@ double evaluate_accuracy(OnnModel& model, const data::SyntheticDataset& dataset,
         accuracy(logits, batch.labels) * static_cast<double>(batch.labels.size());
     total += static_cast<int>(batch.labels.size());
   }
-  if (noise_sigma > 0.0) model.set_phase_noise(0.0, 0);
-  model.set_training(true);
+  model.restore_phase_noise(saved_noise);
+  model.set_training(was_training);
   return total == 0 ? 0.0 : correct_weighted / total;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/version.h"
+
 namespace adept::optim {
 
 Optimizer::Optimizer(std::vector<ag::Tensor> params, double lr)
@@ -9,6 +11,11 @@ Optimizer::Optimizer(std::vector<ag::Tensor> params, double lr)
 
 void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::step() {
+  apply_step();
+  adept::bump_param_version();
 }
 
 Sgd::Sgd(std::vector<ag::Tensor> params, double lr, double momentum,
@@ -22,7 +29,7 @@ Sgd::Sgd(std::vector<ag::Tensor> params, double lr, double momentum,
   }
 }
 
-void Sgd::step() {
+void Sgd::apply_step() {
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
     if (!p.has_grad()) continue;
@@ -52,7 +59,7 @@ Adam::Adam(std::vector<ag::Tensor> params, double lr, double beta1, double beta2
   }
 }
 
-void Adam::step() {
+void Adam::apply_step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));

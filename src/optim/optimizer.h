@@ -18,13 +18,18 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   void zero_grad();
-  virtual void step() = 0;
+  // Applies the update rule, then bumps adept::param_version() so
+  // materialized eval-weight caches know the parameters moved.
+  void step();
 
   double lr() const { return lr_; }
   void set_lr(double lr) { lr_ = lr; }
   const std::vector<ag::Tensor>& params() const { return params_; }
 
  protected:
+  // The update rule itself (in-place on the parameter data buffers).
+  virtual void apply_step() = 0;
+
   std::vector<ag::Tensor> params_;
   double lr_;
 };
@@ -34,7 +39,9 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<ag::Tensor> params, double lr, double momentum = 0.0,
       double weight_decay = 0.0);
-  void step() override;
+
+ protected:
+  void apply_step() override;
 
  private:
   double momentum_;
@@ -47,7 +54,9 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<ag::Tensor> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
-  void step() override;
+
+ protected:
+  void apply_step() override;
 
  private:
   double beta1_, beta2_, eps_, weight_decay_;

@@ -104,6 +104,75 @@ TEST(Train, OnnProxyTaskLossAndMetric) {
   EXPECT_LE(acc, 1.0);
 }
 
+TEST(Train, EvaluateAccuracyRestoresTrainingMode) {
+  // Regression: evaluate_accuracy used to force set_training(true) on exit,
+  // clobbering the caller's mode (OnnProxyTask::metric left the model in
+  // training mode for the rest of the search step).
+  const auto spec = tiny_spec();
+  data::SyntheticDataset test(spec, 32, 11);
+  Rng rng(7);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::dense(), rng, 4);
+  model.set_training(false);
+  nn::evaluate_accuracy(model, test);
+  EXPECT_FALSE(model.training());
+  model.set_training(true);
+  nn::evaluate_accuracy(model, test);
+  EXPECT_TRUE(model.training());
+}
+
+TEST(Train, EvaluateAccuracyPreservesNoiseStream) {
+  // Regression: a nominal eval used to stomp the stored phase-noise stream
+  // with set_phase_noise(0.0, 0). Two identical models, identically armed:
+  // one runs an eval between its noisy forwards, the other does not — their
+  // noisy outputs must stay identical.
+  const auto spec = tiny_spec();
+  data::SyntheticDataset test(spec, 32, 12);
+  auto topo = std::make_shared<adept::photonics::PtcTopology>(
+      adept::photonics::butterfly(8));
+  Rng rng_a(8), rng_b(8);
+  auto a = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng_a, 4);
+  auto b = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng_b, 4);
+  a.set_phase_noise(0.05, 42);
+  b.set_phase_noise(0.05, 42);
+  a.set_training(false);
+  b.set_training(false);
+  adept::ag::NoGradGuard guard;
+  std::vector<float> x(14 * 14);
+  Rng xr(13);
+  for (auto& v : x) v = static_cast<float>(xr.uniform(-1, 1));
+  auto input = [&] { return adept::ag::make_tensor(x, {1, 1, 14, 14}, false); };
+  // First noisy forward consumes the same drift on both models.
+  auto y_a1 = a.net->forward(input());
+  auto y_b1 = b.net->forward(input());
+  for (std::size_t i = 0; i < y_a1.data().size(); ++i) {
+    ASSERT_EQ(y_a1.data()[i], y_b1.data()[i]);
+  }
+  // Model a runs a nominal eval in between; model b does not.
+  nn::evaluate_accuracy(a, test);
+  auto y_a2 = a.net->forward(input());
+  auto y_b2 = b.net->forward(input());
+  for (std::size_t i = 0; i < y_a2.data().size(); ++i) {
+    ASSERT_EQ(y_a2.data()[i], y_b2.data()[i])
+        << "eval disturbed the noise stream at elem " << i;
+  }
+}
+
+TEST(Train, NoisyEvaluationRestoresArmedNoise) {
+  // A noisy robustness eval (noise_sigma > 0) must pop back the
+  // variation-aware training noise it replaced, not leave sigma at 0.
+  const auto spec = tiny_spec();
+  data::SyntheticDataset test(spec, 32, 14);
+  Rng rng(9);
+  auto topo = std::make_shared<adept::photonics::PtcTopology>(
+      adept::photonics::butterfly(8));
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+  model.set_phase_noise(0.02, 77);
+  nn::evaluate_accuracy(model, test, 32, /*noise_sigma=*/0.3, /*noise_seed=*/5);
+  for (auto* layer : model.onn_layers) {
+    EXPECT_DOUBLE_EQ(layer->phase_noise_state().sigma, 0.02);
+  }
+}
+
 TEST(Train, VariationHelpersToggleNoise) {
   Rng rng(6);
   auto topo = std::make_shared<adept::photonics::PtcTopology>(
