@@ -14,6 +14,7 @@
 
 #include "autograd/complex.h"
 #include "autograd/ops.h"
+#include "backend/dispatch.h"
 #include "backend/kernels.h"
 #include "backend/parallel.h"
 #include "bench_common.h"
@@ -246,7 +247,7 @@ BackendTiming time_backend(Fn&& fn) {
   return t;
 }
 
-adept::bench::JsonRecord make_record(const char* name, double size,
+adept::bench::JsonRecord make_record(const std::string& name, double size,
                                      double work, double t_naive,
                                      const BackendTiming& t) {
   return {name,
@@ -527,6 +528,135 @@ adept::bench::JsonRecord im2col_record() {
   return make_record("im2col", static_cast<double>(h), elems, t_naive, t);
 }
 
+// ---- per-dispatch-level records --------------------------------------------
+//
+// One record per available SIMD level per kernel, all pinned to one thread.
+// The baseline is the *scalar dispatch level* (the pre-SIMD blocked kernel),
+// so `speedup_serial` of a `_avx2`/`_avx512` record is exactly the
+// microkernel-vs-blocked-kernel win the acceptance criterion tracks.
+template <typename Fn>
+double time_serial_at(be::SimdLevel level, Fn&& fn) {
+  be::SimdScope simd(level);
+  be::ThreadScope one(1);
+  return adept::bench::time_best(fn);
+}
+
+template <typename Fn>
+void add_level_records(adept::bench::JsonReport& report, const char* base,
+                       double size, double work, Fn&& fn) {
+  const double t_scalar = time_serial_at(be::SimdLevel::scalar, fn);
+  for (be::SimdLevel level : be::available_simd_levels()) {
+    // The scalar record reuses the baseline timing: definitional 1.0x
+    // rather than a second measurement's noise.
+    const double t = level == be::SimdLevel::scalar
+                         ? t_scalar
+                         : time_serial_at(level, fn);
+    report.add({std::string(base) + "_" + be::simd_level_name(level),
+                {{"size", size},
+                 {"baseline_gflops", work / t_scalar * 1e-9},
+                 {"backend_serial_gflops", work / t * 1e-9},
+                 {"speedup_serial", t_scalar / t}}});
+  }
+}
+
+void add_simd_level_records(adept::bench::JsonReport& report) {
+  adept::Rng rng(12);
+  {
+    const std::int64_t n = 256;
+    const std::size_t nn = static_cast<std::size_t>(n * n);
+    auto a = std::make_shared<std::vector<float>>(nn);
+    auto b = std::make_shared<std::vector<float>>(nn);
+    auto c = std::make_shared<std::vector<float>>(nn);
+    for (auto* v : {a.get(), b.get()}) {
+      for (auto& x : *v) x = static_cast<float>(rng.uniform(-1, 1));
+    }
+    add_level_records(report, "gemm_f32", static_cast<double>(n),
+                      2.0 * static_cast<double>(n) * n * n, [=] {
+                        be::gemm(be::Trans::N, be::Trans::N, n, n, n, 1.0f,
+                                 a->data(), n, b->data(), n, 0.0f, c->data(), n);
+                      });
+  }
+  {
+    const std::int64_t n = 64;
+    const std::size_t nn = static_cast<std::size_t>(n * n);
+    auto ar = std::make_shared<std::vector<float>>(nn);
+    auto ai = std::make_shared<std::vector<float>>(nn);
+    auto br = std::make_shared<std::vector<float>>(nn);
+    auto bi = std::make_shared<std::vector<float>>(nn);
+    auto cr = std::make_shared<std::vector<float>>(nn);
+    auto ci = std::make_shared<std::vector<float>>(nn);
+    for (auto* v : {ar.get(), ai.get(), br.get(), bi.get()}) {
+      for (auto& x : *v) x = static_cast<float>(rng.uniform(-1, 1));
+    }
+    add_level_records(report, "cgemm_f32", static_cast<double>(n),
+                      8.0 * static_cast<double>(n) * n * n, [=] {
+                        be::cgemm(be::CTrans::N, be::CTrans::N, n, n, n,
+                                  ar->data(), ai->data(), n, br->data(),
+                                  bi->data(), n, 0.0f, cr->data(), ci->data(),
+                                  n);
+                      });
+    // Same operands through the phased real-complex product (dense A).
+    auto p = std::make_shared<std::vector<float>>(nn);
+    auto cc = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+    auto ss = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+    for (auto& x : *p) x = static_cast<float>(rng.uniform(-1, 1));
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float phi = static_cast<float>(rng.uniform(-3.0, 3.0));
+      (*cc)[static_cast<std::size_t>(j)] = std::cos(phi);
+      (*ss)[static_cast<std::size_t>(j)] = std::sin(phi);
+    }
+    add_level_records(report, "rcgemm_f32", static_cast<double>(n),
+                      4.0 * static_cast<double>(n) * n * n, [=] {
+                        be::rcgemm(be::Trans::N, n, n, n, p->data(), n,
+                                   br->data(), bi->data(), n, 0.0f, cr->data(),
+                                   ci->data(), n, cc->data(), ss->data());
+                      });
+  }
+  {
+    const std::int64_t tiles = 16, k = 16;
+    const std::size_t kk = static_cast<std::size_t>(k * k);
+    const std::size_t tkk = static_cast<std::size_t>(tiles) * kk;
+    auto ar = std::make_shared<std::vector<float>>(tkk);
+    auto ai = std::make_shared<std::vector<float>>(tkk);
+    auto br = std::make_shared<std::vector<float>>(tkk);
+    auto bi = std::make_shared<std::vector<float>>(tkk);
+    auto cr = std::make_shared<std::vector<float>>(tkk);
+    auto ci = std::make_shared<std::vector<float>>(tkk);
+    for (auto* v : {ar.get(), ai.get(), br.get(), bi.get()}) {
+      for (auto& x : *v) x = static_cast<float>(rng.uniform(-1, 1));
+    }
+    add_level_records(report, "cgemm_f32_batched", static_cast<double>(tiles),
+                      8.0 * static_cast<double>(tiles) * k * k * k, [=] {
+                        be::cgemm_batched(be::CTrans::N, be::CTrans::N, tiles,
+                                          k, k, k, ar->data(), ai->data(), kk,
+                                          k, br->data(), bi->data(), kk, k,
+                                          0.0f, cr->data(), ci->data(), kk, k);
+                      });
+  }
+  {
+    // Elementwise transcendentals: *_gflops fields are elements/s here.
+    const std::int64_t n = 1 << 16;
+    auto x = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+    auto c = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+    auto s = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+    for (auto& v : *x) v = static_cast<float>(rng.uniform(-6.28, 6.28));
+    add_level_records(report, "sincos_f32", static_cast<double>(n),
+                      static_cast<double>(n),
+                      [=] { be::sincos(n, x->data(), c->data(), s->data()); });
+    const std::int64_t rows = 512, cols = 64;
+    auto sm_in = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(rows * cols));
+    auto sm_out = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(rows * cols));
+    for (auto& v : *sm_in) v = static_cast<float>(rng.uniform(-8.0, 8.0));
+    add_level_records(report, "softmax_rows", static_cast<double>(cols),
+                      static_cast<double>(rows * cols), [=] {
+                        be::softmax_rows(rows, cols, sm_in->data(),
+                                         sm_out->data());
+                      });
+  }
+}
+
 int run_json_report(const std::string& path) {
   adept::bench::JsonReport report("kernels");
   for (std::int64_t n : {64, 128, 256}) report.add(gemm_record(n));
@@ -538,6 +668,7 @@ int run_json_report(const std::string& path) {
   report.add(weight_expr_record());
   report.add(map_record(1u << 20));
   report.add(im2col_record());
+  add_simd_level_records(report);
   if (!report.write(path, be::num_threads())) {
     std::cerr << "bench_kernels: cannot write " << path << "\n";
     return 1;

@@ -59,10 +59,12 @@ std::shared_ptr<PhaseTables> phase_tables(const Tensor& phi) {
   const auto& pd = phi.data();
   t->c.resize(pd.size());
   t->s.resize(pd.size());
-  for (std::size_t i = 0; i < pd.size(); ++i) {
-    t->c[i] = std::cos(pd[i]);
-    t->s[i] = std::sin(pd[i]);
-  }
+  // Dispatched: SIMD levels vectorize the sincos pair (backend/simd.h); the
+  // scalar level is the libm loop this code always ran. Every consumer of a
+  // phase column shares these tables, so fused and batched paths stay
+  // bit-identical to each other at any level.
+  be::sincos(static_cast<std::int64_t>(pd.size()), pd.data(), t->c.data(),
+             t->s.data());
   return t;
 }
 

@@ -569,24 +569,10 @@ Tensor softmax_rows(const Tensor& a) {
   check(a.ndim() == 2, "softmax_rows: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n * m));
-  const float* ad = a.data().data();
-  float* op = out.data();
   const std::int64_t row_grain = std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(m, 1));
-  be::for_each_index(
-      n,
-      [=](std::int64_t i) {
-        float mx = -std::numeric_limits<float>::infinity();
-        for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[i * m + j]);
-        double z = 0.0;
-        for (std::int64_t j = 0; j < m; ++j) {
-          const float e = std::exp(ad[i * m + j] - mx);
-          op[i * m + j] = e;
-          z += e;
-        }
-        const float inv = static_cast<float>(1.0 / z);
-        for (std::int64_t j = 0; j < m; ++j) op[i * m + j] *= inv;
-      },
-      row_grain);
+  // Dispatched row-softmax: SIMD levels vectorize the max/exp/normalize
+  // passes, the scalar level keeps the historical double-accumulator loop.
+  be::softmax_rows(n, m, a.data().data(), out.data());
   return make_op(std::move(out), {n, m}, {a}, [a, n, m, row_grain](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();
@@ -613,20 +599,8 @@ Tensor log_softmax_rows(const Tensor& a) {
   check(a.ndim() == 2, "log_softmax_rows: expects 2-D");
   const std::int64_t n = a.dim(0), m = a.dim(1);
   std::vector<float> out(static_cast<std::size_t>(n * m));
-  const float* ad = a.data().data();
-  float* op = out.data();
   const std::int64_t row_grain = std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(m, 1));
-  be::for_each_index(
-      n,
-      [=](std::int64_t i) {
-        float mx = -std::numeric_limits<float>::infinity();
-        for (std::int64_t j = 0; j < m; ++j) mx = std::max(mx, ad[i * m + j]);
-        double z = 0.0;
-        for (std::int64_t j = 0; j < m; ++j) z += std::exp(ad[i * m + j] - mx);
-        const float lz = mx + static_cast<float>(std::log(z));
-        for (std::int64_t j = 0; j < m; ++j) op[i * m + j] = ad[i * m + j] - lz;
-      },
-      row_grain);
+  be::log_softmax_rows(n, m, a.data().data(), out.data());
   return make_op(std::move(out), {n, m}, {a}, [a, n, m, row_grain](TensorImpl& o) {
     if (!a.requires_grad()) return;
     auto& ga = const_cast<Tensor&>(a).grad();

@@ -1,0 +1,129 @@
+// Thread-local 64-byte-aligned scratch arena for the kernel layer's packing
+// buffers.
+//
+// Every gemm-family kernel used to materialize its op(B)/op(A) panels into a
+// freshly value-initialized std::vector per call, paying an allocation plus a
+// zero-fill of memory that the pack loop immediately overwrites. The arena
+// keeps one grow-only aligned buffer per thread and hands out uninitialized
+// bump allocations from it, so steady-state gemm calls allocate nothing.
+//
+// Usage:
+//   ScratchArena::Scope scope;                 // RAII: frees on scope exit
+//   float* bp = scope.alloc<float>(kc * n);    // 64-byte aligned, NOT zeroed
+//
+// Scopes nest (a kernel that packs inside a parallel_for worker gets the
+// worker thread's own arena, independent of the caller's). Pointers stay
+// valid until their Scope is destroyed — growth during a scope allocates an
+// overflow block instead of moving live data; the outermost scope exit folds
+// the peak demand back into one contiguous buffer for the next call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace adept::backend {
+
+class ScratchArena {
+ public:
+  static constexpr std::size_t kAlign = 64;  // cache line / AVX-512 friendly
+
+  ScratchArena() = default;
+  ~ScratchArena() {
+    free_block(main_, cap_);
+    release_overflow();
+  }
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // The calling thread's arena.
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+  class Scope {
+   public:
+    Scope() : arena_(ScratchArena::local()), saved_off_(arena_.off_) {
+      ++arena_.depth_;
+    }
+    ~Scope() {
+      arena_.off_ = saved_off_;
+      if (--arena_.depth_ == 0) arena_.consolidate();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    // Uninitialized, 64-byte-aligned storage for `count` Ts, owned by the
+    // arena until this Scope (or an enclosing one) is destroyed.
+    template <typename T>
+    T* alloc(std::int64_t count) {
+      return static_cast<T*>(
+          arena_.allocate(static_cast<std::size_t>(count) * sizeof(T)));
+    }
+
+   private:
+    ScratchArena& arena_;
+    std::size_t saved_off_;
+  };
+
+ private:
+  static void* new_block(std::size_t bytes) {
+    return ::operator new(bytes, std::align_val_t{kAlign});
+  }
+  static void free_block(void* p, std::size_t bytes) {
+    if (p != nullptr) {
+      ::operator delete(p, bytes, std::align_val_t{kAlign});
+    }
+  }
+
+  void* allocate(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    if (off_ + bytes <= cap_) {
+      void* p = static_cast<std::byte*>(main_) + off_;
+      off_ += bytes;
+      if (off_ > peak_) peak_ = off_;
+      return p;
+    }
+    // Does not fit: serve from a dedicated overflow block (live pointers into
+    // main_ must not move) and remember the shortfall for consolidate().
+    overflow_.push_back({new_block(bytes), bytes});
+    overflow_bytes_ += bytes;
+    return overflow_.back().p;
+  }
+
+  // Called when the outermost scope unwinds: no live pointers remain, so the
+  // arena can be refit to the epoch's peak demand in one contiguous block.
+  void consolidate() {
+    const std::size_t need = peak_ + overflow_bytes_;
+    if (need > cap_) {
+      free_block(main_, cap_);
+      main_ = new_block(need);
+      cap_ = need;
+    }
+    release_overflow();
+    peak_ = 0;
+    overflow_bytes_ = 0;
+  }
+
+  void release_overflow() {
+    for (const auto& b : overflow_) free_block(b.p, b.bytes);
+    overflow_.clear();
+  }
+
+  struct Block {
+    void* p;
+    std::size_t bytes;
+  };
+
+  void* main_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t off_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t overflow_bytes_ = 0;
+  int depth_ = 0;
+  std::vector<Block> overflow_;
+};
+
+}  // namespace adept::backend

@@ -1,0 +1,148 @@
+#include "backend/dispatch.h"
+
+#include <atomic>
+#include <string>
+
+#include "common/env.h"
+
+// Set per-source-file by CMake when the matching microkernel TU is compiled
+// into the binary (the TUs need -mavx2/-mavx512* flags the base build does
+// not use, so their presence is a build-system decision).
+#ifdef ADEPT_HAVE_AVX2_TU
+namespace adept::backend::avx2 {
+extern const KernelTable kKernels;
+}
+#endif
+#ifdef ADEPT_HAVE_AVX512_TU
+namespace adept::backend::avx512 {
+extern const KernelTable kKernels;
+}
+#endif
+
+namespace adept::backend {
+
+namespace {
+
+// -1 = no override; otherwise a SimdLevel already clamped to availability.
+std::atomic<int> g_override{-1};
+
+bool cpu_supports(SimdLevel level) {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  switch (level) {
+    case SimdLevel::scalar:
+      return true;
+    case SimdLevel::avx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case SimdLevel::avx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+  }
+  return false;
+#else
+  return level == SimdLevel::scalar;
+#endif
+}
+
+bool compiled(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::scalar:
+      return true;
+    case SimdLevel::avx2:
+#ifdef ADEPT_HAVE_AVX2_TU
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::avx512:
+#ifdef ADEPT_HAVE_AVX512_TU
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel best_available() {
+  static const SimdLevel resolved = [] {
+    for (SimdLevel l : {SimdLevel::avx512, SimdLevel::avx2}) {
+      if (compiled(l) && cpu_supports(l)) return l;
+    }
+    return SimdLevel::scalar;
+  }();
+  return resolved;
+}
+
+SimdLevel parse_level_name(const std::string& name, SimdLevel def) {
+  if (name == "scalar") return SimdLevel::scalar;
+  if (name == "avx2") return SimdLevel::avx2;
+  if (name == "avx512") return SimdLevel::avx512;
+  return def;  // unknown values keep the default (documented as non-fatal)
+}
+
+SimdLevel clamp_available(SimdLevel want) {
+  const SimdLevel best = best_available();
+  return static_cast<int>(want) < static_cast<int>(best) ? want : best;
+}
+
+SimdLevel env_level() {
+  // Env/CPU state cannot change mid-process; resolve once.
+  static const SimdLevel resolved = [] {
+    const SimdLevel best = best_available();
+    return clamp_available(
+        parse_level_name(env_string("ADEPT_SIMD", simd_level_name(best)), best));
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::avx512:
+      return "avx512";
+    case SimdLevel::avx2:
+      return "avx2";
+    case SimdLevel::scalar:
+    default:
+      return "scalar";
+  }
+}
+
+SimdLevel simd_level() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  return env_level();
+}
+
+std::vector<SimdLevel> available_simd_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::scalar};
+  for (SimdLevel l : {SimdLevel::avx2, SimdLevel::avx512}) {
+    if (compiled(l) && cpu_supports(l)) levels.push_back(l);
+  }
+  return levels;
+}
+
+SimdScope::SimdScope(SimdLevel level) : prev_(g_override.load()) {
+  g_override.store(static_cast<int>(clamp_available(level)));
+}
+
+SimdScope::~SimdScope() { g_override.store(prev_); }
+
+const KernelTable* active_kernels() {
+  switch (simd_level()) {
+#ifdef ADEPT_HAVE_AVX512_TU
+    case SimdLevel::avx512:
+      return &avx512::kKernels;
+#endif
+#ifdef ADEPT_HAVE_AVX2_TU
+    case SimdLevel::avx2:
+      return &avx2::kKernels;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace adept::backend

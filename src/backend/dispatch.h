@@ -1,0 +1,96 @@
+// Runtime ISA dispatch for the SIMD microkernel layer.
+//
+// The microkernels in backend/microkernels.inc are compiled once per ISA
+// (scalar fallback lives in kernels.cpp itself; AVX2+FMA and AVX-512 get
+// dedicated TUs with the matching -m flags). At first use the dispatcher
+// picks the best level that is (a) compiled into this binary, (b) reported
+// by CPUID, and (c) not capped by the ADEPT_SIMD environment knob:
+//
+//   ADEPT_SIMD=scalar | avx2 | avx512
+//
+// An unknown value, or a level the CPU/binary cannot deliver, clamps down to
+// the best available level (never up, never an error) — see common/env.h.
+//
+// Determinism contract: every level is bit-exact across thread counts, and
+// `scalar` reproduces the pre-SIMD blocked kernels bit for bit. Levels
+// differ from each other only within float accumulation tolerance (the SIMD
+// kernels keep the same ascending-k accumulation order but fuse
+// multiply-adds); tests/test_simd.cpp pins the tolerances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "backend/kernels.h"
+
+namespace adept::backend {
+
+enum class SimdLevel : int { scalar = 0, avx2 = 1, avx512 = 2 };
+
+// Display/env name for a level: "scalar", "avx2", "avx512".
+const char* simd_level_name(SimdLevel level);
+
+// The level kernels will dispatch to right now (override > env > CPUID).
+SimdLevel simd_level();
+
+// Every level this binary+CPU can run, ascending (always includes scalar).
+std::vector<SimdLevel> available_simd_levels();
+
+// RAII scope forcing a dispatch level (clamped to the best available), used
+// by tests and the per-level bench records. Like ThreadScope, not reentrancy-
+// safe across threads — scope on the thread driving the kernels.
+class SimdScope {
+ public:
+  explicit SimdScope(SimdLevel level);
+  ~SimdScope();
+  SimdScope(const SimdScope&) = delete;
+  SimdScope& operator=(const SimdScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+// Function table one ISA TU exports; kernels.cpp routes the float hot paths
+// through the active table (nullptr table = the scalar/legacy blocked path).
+struct KernelTable {
+  void (*gemm_f32)(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* b, std::int64_t ldb,
+                   float beta, float* c, std::int64_t ldc);
+  void (*cgemm)(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* ar, const float* ai,
+                std::int64_t lda, const float* br, const float* bi,
+                std::int64_t ldb, float beta, float* cr, float* ci,
+                std::int64_t ldc);
+  void (*cgemm_batched)(CTrans ta, CTrans tb, std::int64_t batch,
+                        std::int64_t m, std::int64_t n, std::int64_t k,
+                        const float* ar, const float* ai, std::int64_t stride_a,
+                        std::int64_t lda, const float* br, const float* bi,
+                        std::int64_t stride_b, std::int64_t ldb, float beta,
+                        float* cr, float* ci, std::int64_t stride_c,
+                        std::int64_t ldc);
+  void (*rcgemm)(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float* a, std::int64_t lda, const float* br,
+                 const float* bi, std::int64_t ldb, float beta, float* cr,
+                 float* ci, std::int64_t ldc, const float* col_cos,
+                 const float* col_sin);
+  void (*gemm_batched)(std::int64_t batch, std::int64_t m, std::int64_t n,
+                       std::int64_t k, const float* a, std::int64_t stride_a,
+                       std::int64_t lda, Trans tb, const float* b,
+                       std::int64_t ldb, float beta, float* c,
+                       std::int64_t stride_c, std::int64_t ldc);
+  void (*cmul_planar)(std::size_t n, const float* ar, const float* ai,
+                      const float* br, const float* bi, float* outr,
+                      float* outi);
+  void (*sincos)(std::int64_t n, const float* x, float* c, float* s);
+  void (*softmax_rows)(std::int64_t rows, std::int64_t cols, const float* a,
+                       float* out);
+  void (*log_softmax_rows)(std::int64_t rows, std::int64_t cols,
+                           const float* a, float* out);
+};
+
+// Active table for the current dispatch level; nullptr means scalar.
+const KernelTable* active_kernels();
+
+}  // namespace adept::backend

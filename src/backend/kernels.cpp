@@ -1,8 +1,13 @@
 #include "backend/kernels.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "backend/arena.h"
+#include "backend/dispatch.h"
 
 namespace adept::backend {
 
@@ -59,9 +64,12 @@ void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
   // scratch stays bounded at kKBlock*n, never a full copy of B. The inner
   // axpy then always streams unit-stride memory. Per-element accumulation
   // order (k0 ascending, kk ascending) is independent of the row chunking,
-  // preserving bit-exactness across thread counts.
-  std::vector<T> bpack;
-  if (tb == Trans::T) bpack.resize(static_cast<std::size_t>(std::min(kKBlock, k) * n));
+  // preserving bit-exactness across thread counts. Scratch comes from the
+  // thread-local arena: aligned, uninitialized (the pack loop overwrites
+  // every element the inner loops read), reused across calls.
+  ScratchArena::Scope scratch;
+  T* bpack = tb == Trans::T ? scratch.alloc<T>(std::min(kKBlock, k) * n)
+                            : nullptr;
   for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
     const std::int64_t kc = std::min(kKBlock, k - k0);
     const T* bpanel;
@@ -70,8 +78,8 @@ void gemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
       bpanel = b + k0 * ldb;
       bstride = ldb;
     } else {
-      pack_bt_panel(b, ldb, k0, kc, n, bpack.data());
-      bpanel = bpack.data();
+      pack_bt_panel(b, ldb, k0, kc, n, bpack);
+      bpanel = bpack;
       bstride = n;
     }
     parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
@@ -114,9 +122,10 @@ void cgemm_impl(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
     });
     return;
   }
-  std::vector<float> bpack;
+  ScratchArena::Scope scratch;
   const bool pack_b = tb != CTrans::N;
-  if (pack_b) bpack.resize(static_cast<std::size_t>(2 * std::min(kKBlock, k) * n));
+  float* bpack =
+      pack_b ? scratch.alloc<float>(2 * std::min(kKBlock, k) * n) : nullptr;
   for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
     const std::int64_t kc = std::min(kKBlock, k - k0);
     const float *bpr, *bpi;
@@ -126,8 +135,8 @@ void cgemm_impl(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
       bpi = bi + k0 * ldb;
       bstride = ldb;
     } else {
-      float* pr = bpack.data();
-      float* pi = bpack.data() + kc * n;
+      float* pr = bpack;
+      float* pi = bpack + kc * n;
       const float isign = tb == CTrans::H ? -1.0f : 1.0f;
       parallel_for(kc, kRowBlock, [=](std::int64_t kk0, std::int64_t kk1) {
         for (std::int64_t j = 0; j < n; ++j) {
@@ -139,8 +148,8 @@ void cgemm_impl(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
           }
         }
       });
-      bpr = bpack.data();
-      bpi = bpack.data() + kc * n;
+      bpr = bpack;
+      bpi = bpack + kc * n;
       bstride = n;
     }
     parallel_for(m, kRowBlock, [&](std::int64_t i0, std::int64_t i1) {
@@ -198,11 +207,37 @@ void cgemm_impl(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
   }
 }
 
+// Fraction of zero entries in a stored [rows, cols] block (physical row
+// stride ld). The scalar kernels skip zero A entries — a huge win on hard
+// permutation operands — while the SIMD tiles are branch-free; the rcgemm
+// wrapper probes density and keeps sparse operands on the scalar path.
+bool mostly_zero(const float* a, std::int64_t rows, std::int64_t cols,
+                 std::int64_t ld) {
+  // Verdict: >= 7/8 zeros, i.e. nonzeros * 8 <= rows * cols. Dense operands
+  // (the common case in the training loop) cross the nonzero budget within
+  // the first few rows, so the probe bails out early instead of scanning A.
+  const std::int64_t budget = rows * cols;
+  std::int64_t nonzero = 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = a + i * ld;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      if (row[j] != 0.0f && ++nonzero * 8 > budget) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           float alpha, const float* a, std::int64_t lda, const float* b,
           std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  // Degenerate shapes (k <= 0 is a pure beta scale) stay on the scalar path
+  // so the semantics are identical at every dispatch level.
+  if (const KernelTable* t = active_kernels(); t && m > 0 && n > 0 && k > 0) {
+    t->gemm_f32(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
   gemm_impl<float, false>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
@@ -225,6 +260,10 @@ void cgemm(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
            std::int64_t k, const float* ar, const float* ai, std::int64_t lda,
            const float* br, const float* bi, std::int64_t ldb, float beta,
            float* cr, float* ci, std::int64_t ldc) {
+  if (const KernelTable* t = active_kernels(); t && m > 0 && n > 0 && k > 0) {
+    t->cgemm(ta, tb, m, n, k, ar, ai, lda, br, bi, ldb, beta, cr, ci, ldc);
+    return;
+  }
   cgemm_impl(ta, tb, m, n, k, ar, ai, lda, br, bi, ldb, beta, cr, ci, ldc);
 }
 
@@ -241,6 +280,13 @@ void rcgemm(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
   }
   if (phased && beta != 0.0f) {
     throw std::invalid_argument("rcgemm: phase epilogue requires beta == 0");
+  }
+  if (const KernelTable* t = active_kernels();
+      t && k > 0 &&
+      !mostly_zero(a, ta == Trans::N ? m : k, ta == Trans::N ? k : m, lda)) {
+    t->rcgemm(ta, m, n, k, a, lda, br, bi, ldb, beta, cr, ci, ldc, col_cos,
+              col_sin);
+    return;
   }
   const std::int64_t last_k0 = k <= 0 ? 0 : ((k - 1) / kKBlock) * kKBlock;
   auto scale_row = [&](float* rrow, float* irow) {
@@ -314,6 +360,11 @@ void cgemm_batched(CTrans ta, CTrans tb, std::int64_t batch, std::int64_t m,
                    std::int64_t ldb, float beta, float* cr, float* ci,
                    std::int64_t stride_c, std::int64_t ldc) {
   if (batch <= 0 || m <= 0 || n <= 0) return;
+  if (const KernelTable* t = active_kernels(); t && k > 0) {
+    t->cgemm_batched(ta, tb, batch, m, n, k, ar, ai, stride_a, lda, br, bi,
+                     stride_b, ldb, beta, cr, ci, stride_c, ldc);
+    return;
+  }
   const std::int64_t rows = batch * m;
   auto scale_row = [&](float* rrow, float* irow) {
     scale_row_beta(beta, n, rrow);
@@ -335,18 +386,17 @@ void cgemm_batched(CTrans ta, CTrans tb, std::int64_t batch, std::int64_t m,
   // (identical packed values, so per-element products match a per-item
   // cgemm call bit for bit). The two-step k pairing below matches cgemm's
   // accumulation order, completing the bit-exactness guarantee.
-  std::vector<float> bpack;
+  ScratchArena::Scope scratch;
   const bool pack_b = tb != CTrans::N;
   const std::int64_t kc_max = std::min(kKBlock, k);
   const std::int64_t pack_items = shared_b ? 1 : batch;
-  if (pack_b) {
-    bpack.resize(static_cast<std::size_t>(pack_items * 2 * kc_max * n));
-  }
+  float* bpack =
+      pack_b ? scratch.alloc<float>(pack_items * 2 * kc_max * n) : nullptr;
   for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
     const std::int64_t kc = std::min(kKBlock, k - k0);
     if (pack_b) {
       const float isign = tb == CTrans::H ? -1.0f : 1.0f;
-      float* pk = bpack.data();
+      float* pk = bpack;
       parallel_for(pack_items * kc, kRowBlock, [=](std::int64_t q0, std::int64_t q1) {
         for (std::int64_t q = q0; q < q1; ++q) {
           const std::int64_t item = q / kc, kk = q % kc;
@@ -372,7 +422,7 @@ void cgemm_batched(CTrans ta, CTrans tb, std::int64_t batch, std::int64_t m,
         const float *bpr, *bpi;
         std::int64_t bstride;
         if (pack_b) {
-          bpr = bpack.data() + (shared_b ? 0 : t * 2 * kc * n);
+          bpr = bpack + (shared_b ? 0 : t * 2 * kc * n);
           bpi = bpr + kc * n;
           bstride = n;
         } else {
@@ -435,6 +485,11 @@ void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
                   float beta, float* c, std::int64_t stride_c,
                   std::int64_t ldc) {
   if (batch <= 0 || m <= 0 || n <= 0) return;
+  if (const KernelTable* t = active_kernels(); t && k > 0) {
+    t->gemm_batched(batch, m, n, k, a, stride_a, lda, tb, b, ldb, beta, c,
+                    stride_c, ldc);
+    return;
+  }
   const std::int64_t rows = batch * m;
   if (k <= 0) {
     parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
@@ -447,8 +502,10 @@ void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
   // Same k-panel/row-chunk structure as gemm_impl, but the row space spans
   // all batches so B's panels are packed once and tiny per-sample products
   // still fill whole chunks.
-  std::vector<float> bpack;
-  if (tb == Trans::T) bpack.resize(static_cast<std::size_t>(std::min(kKBlock, k) * n));
+  ScratchArena::Scope scratch;
+  float* bpack = tb == Trans::T
+                     ? scratch.alloc<float>(std::min(kKBlock, k) * n)
+                     : nullptr;
   for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
     const std::int64_t kc = std::min(kKBlock, k - k0);
     const float* bpanel;
@@ -457,8 +514,8 @@ void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
       bpanel = b + k0 * ldb;
       bstride = ldb;
     } else {
-      pack_bt_panel(b, ldb, k0, kc, n, bpack.data());
-      bpanel = bpack.data();
+      pack_bt_panel(b, ldb, k0, kc, n, bpack);
+      bpanel = bpack;
       bstride = n;
     }
     parallel_for(rows, kRowBlock, [&](std::int64_t r0, std::int64_t r1) {
@@ -480,6 +537,10 @@ void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
 
 void cmul_planar(std::size_t n, const float* ar, const float* ai,
                  const float* br, const float* bi, float* outr, float* outi) {
+  if (const KernelTable* t = active_kernels()) {
+    t->cmul_planar(n, ar, ai, br, bi, outr, outi);
+    return;
+  }
   parallel_for(static_cast<std::int64_t>(n), detail::kElemGrain,
                [=](std::int64_t lo, std::int64_t hi) {
                  for (std::int64_t i = lo; i < hi; ++i) {
@@ -488,6 +549,65 @@ void cmul_planar(std::size_t n, const float* ar, const float* ai,
                    outr[i] = re;
                  }
                });
+}
+
+void sincos(std::int64_t n, const float* x, float* cos_out, float* sin_out) {
+  if (const KernelTable* t = active_kernels()) {
+    t->sincos(n, x, cos_out, sin_out);
+    return;
+  }
+  parallel_for(n, detail::kElemGrain, [=](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      cos_out[i] = std::cos(x[i]);
+      sin_out[i] = std::sin(x[i]);
+    }
+  });
+}
+
+void softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
+                  float* out) {
+  if (const KernelTable* t = active_kernels()) {
+    t->softmax_rows(rows, cols, a, out);
+    return;
+  }
+  // The pre-SIMD autograd loop, verbatim: per-row max subtraction, exp into
+  // the output, double-accumulated normalizer.
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(cols, 1));
+  parallel_for(rows, grain, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < cols; ++j) mx = std::max(mx, a[i * cols + j]);
+      double z = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float e = std::exp(a[i * cols + j] - mx);
+        out[i * cols + j] = e;
+        z += e;
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (std::int64_t j = 0; j < cols; ++j) out[i * cols + j] *= inv;
+    }
+  });
+}
+
+void log_softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
+                      float* out) {
+  if (const KernelTable* t = active_kernels()) {
+    t->log_softmax_rows(rows, cols, a, out);
+    return;
+  }
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(cols, 1));
+  parallel_for(rows, grain, [=](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < cols; ++j) mx = std::max(mx, a[i * cols + j]);
+      double z = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) z += std::exp(a[i * cols + j] - mx);
+      const float lz = mx + static_cast<float>(std::log(z));
+      for (std::int64_t j = 0; j < cols; ++j) out[i * cols + j] = a[i * cols + j] - lz;
+    }
+  });
 }
 
 void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,

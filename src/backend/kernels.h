@@ -98,6 +98,20 @@ void gemm_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
 void cmul_planar(std::size_t n, const float* ar, const float* ai,
                  const float* br, const float* bi, float* outr, float* outi);
 
+// Simultaneous cos/sin of a phase vector — the exp(-i*phi) table feeding the
+// phase-column ops and the rcgemm epilogue. SIMD levels use a Cephes-style
+// polynomial (~1-2 ulp vs libm for |x| < 8192, libm fallback per lane
+// beyond); the scalar level is a plain std::cos/std::sin loop.
+void sincos(std::int64_t n, const float* x, float* cos_out, float* sin_out);
+
+// Row-wise softmax / log-softmax forward over a [rows, cols] matrix
+// (max-subtracted, exp vectorized at SIMD levels). The scalar level keeps
+// the pre-SIMD double-accumulator loop bit for bit.
+void softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
+                  float* out);
+void log_softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
+                      float* out);
+
 // Patch extraction for NCHW conv-as-gemm. `out` is [n*oh*ow, c*kh*kw] with
 // oh = (h + 2*pad - kh)/stride + 1 (ow analogous); out-of-image taps are 0.
 void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,

@@ -1,0 +1,6 @@
+// AVX2+FMA instantiation of the SIMD microkernels. CMake compiles exactly
+// this TU with -mavx2 -mfma (the rest of the build stays at the base ISA);
+// backend/dispatch.cpp links adept::backend::avx2::kKernels when CPUID
+// reports avx2+fma support.
+#define ADEPT_SIMD_NS avx2
+#include "backend/microkernels.inc"

@@ -1,0 +1,7 @@
+// AVX-512 instantiation of the SIMD microkernels. Compiled with
+// -mavx512f -mavx512vl -mavx512dq (plus the AVX2 baseline): arithmetic stays
+// 8-wide ymm — identical lane math to the AVX2 level, no 512-bit frequency
+// penalty on ADEPT's small matrices — while tail loads/stores use native
+// mask registers instead of vmaskmov emulation.
+#define ADEPT_SIMD_NS avx512
+#include "backend/microkernels.inc"

@@ -22,6 +22,12 @@ double env_double(const std::string& name, double def) {
   return parsed;
 }
 
+std::string env_string(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  return v;
+}
+
 bool bench_full_scale() { return env_int("ADEPT_BENCH_FULL", 0) == 1; }
 
 }  // namespace adept

@@ -3,11 +3,15 @@
 // Benches run at a reduced scale by default so the full suite finishes in
 // minutes on a laptop; ADEPT_BENCH_* variables scale them toward paper scale.
 //
-// Runtime knobs consumed elsewhere through env_int():
+// Runtime knobs consumed elsewhere through env_int()/env_string():
 //   ADEPT_NUM_THREADS   worker count for the src/backend kernel layer
 //                       (default: hardware concurrency; 1 = serial fallback —
 //                       backend results are bit-exact across thread counts,
 //                       see backend/parallel.h).
+//   ADEPT_SIMD          dispatch cap for the SIMD microkernels:
+//                       scalar | avx2 | avx512 (default: best level the
+//                       binary + CPU support; unknown or unavailable values
+//                       clamp down, never error — see backend/dispatch.h).
 #pragma once
 
 #include <string>
@@ -19,6 +23,9 @@ int env_int(const std::string& name, int def);
 
 // Double env var with default.
 double env_double(const std::string& name, double def);
+
+// String env var with default; returns `def` if unset or empty.
+std::string env_string(const std::string& name, const std::string& def);
 
 // True when ADEPT_BENCH_FULL=1 (run benches closer to paper scale).
 bool bench_full_scale();

@@ -108,16 +108,37 @@ SvdResult jacobi_svd(const RMat& a, int max_sweeps, double tol) {
   // One-sided Jacobi: rotate columns of W = A * V until pairwise orthogonal.
   RMat w = a;
   RMat v = RMat::identity(n);
+  // Column squared norms are the diagonal of the implicit Gram matrix W^T W.
+  // Refreshing them once per sweep with a row-major streaming pass — and
+  // updating them exactly after each rotation (the annihilating rotation
+  // maps G_pp -> G_pp - t*G_pq, G_qq -> G_qq + t*G_pq) — cuts each pair
+  // check from three strided column dots to one.
+  std::vector<double> colsq(static_cast<std::size_t>(n), 0.0);
+  // A pair is re-checked only when one of its columns rotated since the last
+  // visit; untouched pairs were below threshold then and still are.
+  std::vector<char> changed_prev(static_cast<std::size_t>(n), 1);
+  std::vector<char> changed_cur(static_cast<std::size_t>(n), 0);
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    std::fill(colsq.begin(), colsq.end(), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double* wrow = &w.at(i, 0);
+      for (std::int64_t j = 0; j < n; ++j) {
+        colsq[static_cast<std::size_t>(j)] += wrow[j] * wrow[j];
+      }
+    }
+    std::fill(changed_cur.begin(), changed_cur.end(), 0);
     double off = 0.0;
     for (std::int64_t p = 0; p < n - 1; ++p) {
       for (std::int64_t q = p + 1; q < n; ++q) {
-        double app = 0.0, aqq = 0.0, apq = 0.0;
-        for (std::int64_t i = 0; i < n; ++i) {
-          app += w.at(i, p) * w.at(i, p);
-          aqq += w.at(i, q) * w.at(i, q);
-          apq += w.at(i, p) * w.at(i, q);
+        const std::size_t ps = static_cast<std::size_t>(p);
+        const std::size_t qs = static_cast<std::size_t>(q);
+        if (!changed_prev[ps] && !changed_prev[qs] && !changed_cur[ps] &&
+            !changed_cur[qs]) {
+          continue;
         }
+        double apq = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) apq += w.at(i, p) * w.at(i, q);
+        const double app = colsq[ps], aqq = colsq[qs];
         off = std::max(off, std::fabs(apq));
         if (std::fabs(apq) < tol * std::sqrt(std::max(app * aqq, 1e-300))) continue;
         const double zeta = (aqq - app) / (2.0 * apq);
@@ -133,18 +154,33 @@ SvdResult jacobi_svd(const RMat& a, int max_sweeps, double tol) {
           v.at(i, p) = c * vp - s * vq;
           v.at(i, q) = s * vp + c * vq;
         }
+        colsq[ps] = app - t * apq;
+        colsq[qs] = aqq + t * apq;
+        changed_cur[ps] = changed_cur[qs] = 1;
       }
     }
+    // off == 0 with every pair skipped means the previous sweep left all
+    // columns untouched: already converged (or stuck below the relative
+    // threshold — the old code would spin the remaining sweeps re-deriving
+    // the same decision).
     if (off < tol) break;
+    changed_prev.swap(changed_cur);
   }
   SvdResult result;
   result.s.assign(static_cast<std::size_t>(n), 0.0);
   result.u = RMat(n, n);
   result.v = v;
+  // Final norms from the data (not the incrementally tracked diagonal), one
+  // streaming pass.
+  std::fill(colsq.begin(), colsq.end(), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double* wrow = &w.at(i, 0);
+    for (std::int64_t j = 0; j < n; ++j) {
+      colsq[static_cast<std::size_t>(j)] += wrow[j] * wrow[j];
+    }
+  }
   for (std::int64_t j = 0; j < n; ++j) {
-    double norm = 0.0;
-    for (std::int64_t i = 0; i < n; ++i) norm += w.at(i, j) * w.at(i, j);
-    norm = std::sqrt(norm);
+    const double norm = std::sqrt(colsq[static_cast<std::size_t>(j)]);
     result.s[static_cast<std::size_t>(j)] = norm;
     if (norm > 1e-300) {
       for (std::int64_t i = 0; i < n; ++i) result.u.at(i, j) = w.at(i, j) / norm;
