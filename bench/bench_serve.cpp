@@ -1,0 +1,179 @@
+// Serving-path benchmark: tape-based eval vs the compiled tape-free engine,
+// and steady-state server throughput under concurrent micro-batching.
+//
+//   offline single-stream   batch-1 latency of model.forward (eval mode,
+//                           NoGradGuard, cached eval weights) vs
+//                           CompiledModel::run with a reused workspace —
+//                           the ISSUE acceptance bar is compiled >= 2x.
+//   steady-state serving    QPS, micro-batch fill rate, and p50/p99 request
+//                           latency at 1/4/8 worker threads for a fixed
+//                           request pile.
+//
+// `--json [path]` emits BENCH_serve.json for the perf trajectory (schema in
+// bench/README.md); without it a human-readable table prints. Scale knobs:
+//   ADEPT_BENCH_SERVE_N   requests per serving measurement (default 384,
+//                         full scale 4096)
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "backend/parallel.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "nn/models.h"
+#include "photonics/builders.h"
+#include "runtime/compiled_model.h"
+#include "runtime/server.h"
+
+namespace {
+
+namespace ph = adept::photonics;
+namespace nn = adept::nn;
+namespace rt = adept::runtime;
+using adept::bench::time_best;
+
+constexpr int kImage = 12;
+constexpr int kClasses = 10;
+constexpr int kWidth = 6;
+
+nn::OnnModel make_deployable_model() {
+  // The deployable-core scenario: the proxy CNN with every matmul mapped
+  // onto a fixed K=8 butterfly PTC (stand-in for a searched ADEPT design).
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(8));
+  adept::Rng rng(17);
+  return nn::make_proxy_cnn(1, kImage, kClasses, nn::PtcBinding::fixed(topo),
+                            rng, kWidth);
+}
+
+std::vector<float> random_sample(adept::Rng& rng) {
+  std::vector<float> x(kImage * kImage);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+struct SingleStream {
+  double tape_ms = 0;
+  double compiled_ms = 0;
+};
+
+SingleStream measure_single_stream(nn::OnnModel& model,
+                                   const rt::CompiledModel& cm) {
+  adept::Rng rng(5);
+  const std::vector<float> x = random_sample(rng);
+  SingleStream r;
+  {
+    adept::ag::NoGradGuard guard;
+    model.set_training(false);
+    adept::ag::Tensor xt =
+        adept::ag::make_tensor(x, {1, 1, kImage, kImage}, false);
+    r.tape_ms = time_best([&] { (void)model.net->forward(xt); }) * 1e3;
+  }
+  {
+    rt::CompiledModel::Workspace ws;
+    std::vector<float> out(static_cast<std::size_t>(cm.output_numel()));
+    r.compiled_ms =
+        time_best([&] { cm.run(x.data(), 1, out.data(), ws); }) * 1e3;
+  }
+  return r;
+}
+
+struct ServeResult {
+  double wall_s = 0;
+  double qps = 0;
+  double fill = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+ServeResult measure_serving(const rt::CompiledModel& cm, int threads, int requests) {
+  rt::ServerConfig cfg;
+  cfg.threads = threads;
+  cfg.max_batch = 16;
+  cfg.max_wait_us = 200;
+  cfg.queue_capacity = 512;
+  adept::Rng rng(9);
+  std::vector<std::vector<float>> inputs;
+  inputs.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) inputs.push_back(random_sample(rng));
+
+  // Warm up caches/thread pools on a throwaway server so the measured
+  // server's stats (fill, p50/p99) cover exactly the flood below — serial
+  // warm-up batches of 1 would otherwise drag the reported fill rate down.
+  {
+    rt::Server warm(cm, cfg);
+    for (int i = 0; i < 16; ++i) {
+      warm.submit(inputs[static_cast<std::size_t>(i)]).get();
+    }
+  }
+  rt::Server server(cm, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<std::vector<float>>> futures;
+  futures.reserve(inputs.size());
+  for (const auto& x : inputs) futures.push_back(server.submit(x));
+  for (auto& f : futures) f.get();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const rt::ServerStats stats = server.stats();
+  ServeResult r;
+  r.wall_s = wall;
+  r.qps = requests / wall;
+  r.fill = stats.mean_batch_fill;
+  r.p50_us = stats.latency_p50_us;
+  r.p99_us = stats.latency_p99_us;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int requests =
+      adept::env_int("ADEPT_BENCH_SERVE_N", adept::bench_full_scale() ? 4096 : 384);
+
+  nn::OnnModel model = make_deployable_model();
+  rt::CompiledModel cm = rt::CompiledModel::freeze(model, {1, kImage, kImage});
+  const SingleStream ss = measure_single_stream(model, cm);
+  const double speedup = ss.tape_ms / ss.compiled_ms;
+
+  std::string json_path;
+  if (adept::bench::parse_json_flag(argc, argv, "BENCH_serve.json", &json_path)) {
+    adept::bench::JsonReport report("serve");
+    report.add({"single_stream",
+                {{"tape_ms", ss.tape_ms},
+                 {"compiled_ms", ss.compiled_ms},
+                 {"speedup", speedup},
+                 {"wall_s", ss.compiled_ms * 1e-3}}});
+    for (int threads : {1, 4, 8}) {
+      const ServeResult r = measure_serving(cm, threads, requests);
+      report.add({"serve_t" + std::to_string(threads),
+                  {{"qps", r.qps},
+                   {"fill", r.fill},
+                   {"p50_us", r.p50_us},
+                   {"p99_us", r.p99_us},
+                   {"requests", static_cast<double>(requests)}}});
+    }
+    if (!report.write(json_path, adept::backend::num_threads())) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (single-stream speedup %.2fx)\n", json_path.c_str(), speedup);
+    return 0;
+  }
+
+  std::printf("single-stream batch-1 latency (proxy CNN, K=8 butterfly PTC):\n");
+  std::printf("  tape eval     %8.3f ms\n", ss.tape_ms);
+  std::printf("  compiled      %8.3f ms   (%.2fx)\n\n", ss.compiled_ms, speedup);
+
+  adept::Table table({"workers", "QPS", "fill", "p50 [us]", "p99 [us]"});
+  for (int threads : {1, 4, 8}) {
+    const ServeResult r = measure_serving(cm, threads, requests);
+    table.add_row({std::to_string(threads), adept::Table::fmt(r.qps, 0),
+                   adept::Table::fmt(r.fill, 2), adept::Table::fmt(r.p50_us, 0),
+                   adept::Table::fmt(r.p99_us, 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

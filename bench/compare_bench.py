@@ -19,6 +19,8 @@ def key(rec):
 def primary_metric(rec):
     if "backend_serial_gflops" in rec:
         return "backend_serial_gflops", rec["backend_serial_gflops"], True
+    if "qps" in rec:
+        return "qps", rec["qps"], True
     if "wall_s" in rec:
         return "wall_s", rec["wall_s"], False
     return None, None, True

@@ -838,12 +838,8 @@ Tensor rows_to_nchw(const Tensor& x, std::int64_t n, std::int64_t oh, std::int64
 Tensor adaptive_avgpool2d(const Tensor& x, std::int64_t out_h, std::int64_t out_w) {
   check(x.ndim() == 4, "adaptive_avgpool2d: expects [N,C,H,W]");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  auto bin_start = [](std::int64_t o, std::int64_t in, std::int64_t out) {
-    return (o * in) / out;
-  };
-  auto bin_end = [](std::int64_t o, std::int64_t in, std::int64_t out) {
-    return ((o + 1) * in + out - 1) / out;
-  };
+  const auto bin_start = pool_bin_start;  // shared with the compiled runtime
+  const auto bin_end = pool_bin_end;
   std::vector<float> out(static_cast<std::size_t>(n * c * out_h * out_w), 0.0f);
   // Each (n, c) slice owns disjoint input/output planes, so the slice index
   // is the parallel dimension for both directions.

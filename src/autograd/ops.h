@@ -107,6 +107,15 @@ Tensor rows_to_nchw(const Tensor& x, std::int64_t n, std::int64_t oh,
                     std::int64_t ow);
 // Adaptive average pooling to (out_h, out_w); bins follow PyTorch semantics.
 Tensor adaptive_avgpool2d(const Tensor& x, std::int64_t out_h, std::int64_t out_w);
+// Its bin boundaries, shared with the compiled runtime (runtime/
+// compiled_model.cpp) so the two implementations cannot drift: output bin o
+// of an `in`-wide axis pooled to `out` covers [pool_bin_start, pool_bin_end).
+inline std::int64_t pool_bin_start(std::int64_t o, std::int64_t in, std::int64_t out) {
+  return (o * in) / out;
+}
+inline std::int64_t pool_bin_end(std::int64_t o, std::int64_t in, std::int64_t out) {
+  return ((o + 1) * in + out - 1) / out;
+}
 Tensor maxpool2d(const Tensor& x, std::int64_t k, std::int64_t stride);
 // Batch norm over N,H,W per channel. gamma/beta: [C]. In training mode the
 // batch statistics are used and running stats are updated in-place.

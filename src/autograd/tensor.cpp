@@ -1,17 +1,23 @@
 #include "autograd/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 namespace adept::ag {
 
 namespace {
-bool g_grad_enabled = true;
-std::size_t g_op_nodes = 0;  // graph construction is single-threaded
+// Grad mode is per-thread so concurrent no-grad evaluation (the serving
+// worker pool, multi-threaded weight_expr readers) neither races on the flag
+// nor accidentally disables tracking on another thread mid-training.
+thread_local bool g_grad_enabled = true;
+std::atomic<std::size_t> g_op_nodes{0};
 }  // namespace
 
 namespace debug {
-std::size_t op_nodes_created() { return g_op_nodes; }
+std::size_t op_nodes_created() {
+  return g_op_nodes.load(std::memory_order_relaxed);
+}
 }  // namespace debug
 
 bool GradMode::enabled() { return g_grad_enabled; }
@@ -156,7 +162,7 @@ Tensor make_tensor(std::vector<float> data, std::vector<std::int64_t> shape,
 Tensor make_op(std::vector<float> data, std::vector<std::int64_t> shape,
                std::vector<Tensor> parents,
                std::function<void(TensorImpl&)> backward) {
-  ++g_op_nodes;
+  g_op_nodes.fetch_add(1, std::memory_order_relaxed);
   auto impl = std::make_shared<TensorImpl>();
   impl->data = std::move(data);
   impl->shape = std::move(shape);

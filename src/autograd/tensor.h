@@ -27,7 +27,9 @@ namespace adept::ag {
 
 struct TensorImpl;
 
-// Global switch for graph construction (mirrors torch.no_grad()).
+// Per-thread switch for graph construction (mirrors torch.no_grad()). Each
+// thread starts with tracking enabled; NoGradGuard only affects its own
+// thread, so concurrent no-grad readers never disable tracking elsewhere.
 struct GradMode {
   static bool enabled();
   static void set_enabled(bool on);

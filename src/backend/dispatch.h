@@ -88,6 +88,19 @@ struct KernelTable {
                        float* out);
   void (*log_softmax_rows)(std::int64_t rows, std::int64_t cols,
                            const float* a, float* out);
+  // Frozen-weight serving path: pack op(B) [k, n] once into this level's
+  // k-panel layout, then run the gemm driver against the pre-packed panels
+  // (A is Trans::N). Bit-identical to gemm_f32 — the per-call pack is the
+  // only thing skipped. The buffer for gemm_pack_b must hold
+  // gemm_packed_b_floats(k, n) floats: the footprint is a property of the
+  // level's tile width, so it lives in the table, not in callers.
+  std::int64_t (*gemm_packed_b_floats)(std::int64_t k, std::int64_t n);
+  void (*gemm_pack_b)(Trans tb, std::int64_t k, std::int64_t n, const float* b,
+                      std::int64_t ldb, float* out);
+  void (*gemm_f32_packed)(std::int64_t m, std::int64_t n, std::int64_t k,
+                          float alpha, const float* a, std::int64_t lda,
+                          const float* packed_b, float beta, float* c,
+                          std::int64_t ldc);
 };
 
 // Active table for the current dispatch level; nullptr means scalar.

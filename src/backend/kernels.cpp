@@ -241,6 +241,32 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
   gemm_impl<float, false>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
 }
 
+PackedGemmB pack_gemm_b(Trans tb, std::int64_t k, std::int64_t n,
+                        const float* b, std::int64_t ldb) {
+  PackedGemmB pb;
+  pb.k = k;
+  pb.n = n;
+  const KernelTable* t = active_kernels();
+  if (t == nullptr || k <= 0 || n <= 0) return pb;  // scalar: no packed path
+  pb.level = static_cast<int>(simd_level());
+  pb.panels.resize(static_cast<std::size_t>(t->gemm_packed_b_floats(k, n)));
+  t->gemm_pack_b(tb, k, n, b, ldb, pb.panels.data());
+  return pb;
+}
+
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, std::int64_t lda, Trans tb, const float* b,
+                 std::int64_t ldb, const PackedGemmB& pb, float beta, float* c,
+                 std::int64_t ldc) {
+  const KernelTable* t = active_kernels();
+  if (t != nullptr && m > 0 && n > 0 && k > 0 && !pb.panels.empty() &&
+      pb.level == static_cast<int>(simd_level()) && pb.k == k && pb.n == n) {
+    t->gemm_f32_packed(m, n, k, alpha, a, lda, pb.panels.data(), beta, c, ldc);
+    return;
+  }
+  gemm(Trans::N, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
 void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           double alpha, const double* a, std::int64_t lda, const double* b,
           std::int64_t ldb, double beta, double* c, std::int64_t ldc) {

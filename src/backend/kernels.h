@@ -11,6 +11,7 @@
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "backend/parallel.h"
 
@@ -40,6 +41,30 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           std::complex<double> alpha, const std::complex<double>* a,
           std::int64_t lda, const std::complex<double>* b, std::int64_t ldb,
           std::complex<double> beta, std::complex<double>* c, std::int64_t ldc);
+
+// Pre-packed right operand for the float gemm — the frozen-weight serving
+// path (runtime::CompiledModel). `pack_gemm_b` materializes op(B)'s k-panels
+// in the ACTIVE dispatch level's layout once; `gemm_packed` then skips the
+// per-call pack. Results are bit-identical to gemm(): the panel contents and
+// microkernel call sequence do not change, only when the packing happens.
+// When the active level has no packed path (scalar dispatch), or the level
+// changed between packing and use (ADEPT_SIMD / SimdScope), gemm_packed
+// falls back to the plain gemm using the raw `b` the caller still owns.
+struct PackedGemmB {
+  std::int64_t k = 0, n = 0;
+  int level = -1;              // SimdLevel the panels target (-1 = none)
+  std::vector<float> panels;   // [k-panel][tile][kc][16], zero-padded tails
+};
+
+PackedGemmB pack_gemm_b(Trans tb, std::int64_t k, std::int64_t n,
+                        const float* b, std::int64_t ldb);
+
+// C = alpha * A @ op(B) + beta * C with A [m, k] row-major (Trans::N).
+// `b`/`ldb` describe the unpacked operand for the fallback path.
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, std::int64_t lda, Trans tb, const float* b,
+                 std::int64_t ldb, const PackedGemmB& pb, float beta, float* c,
+                 std::int64_t ldc);
 
 // Fused complex float gemm over split re/im planar operands:
 //   C = op(A) @ op(B) + beta * C   (both planes)

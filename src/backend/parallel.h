@@ -53,6 +53,14 @@ void run_chunked(std::int64_t n, std::int64_t grain,
 template <typename Fn>
 inline void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
   if (n <= 0) return;
+  // Serial fast path, mirroring run_chunked's own short-circuit: one chunk
+  // on the calling thread, but without materializing a std::function (which
+  // otherwise costs an allocation per kernel launch on 1-core hosts — the
+  // batch-1 serving latency path cares).
+  if (num_threads() <= 1 || n <= grain) {
+    fn(static_cast<std::int64_t>(0), n);
+    return;
+  }
   detail::run_chunked(n, grain, fn);
 }
 

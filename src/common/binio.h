@@ -1,0 +1,125 @@
+// Endian-explicit binary encode/decode helpers.
+//
+// Shared by the photonics topology/PDK binary serializers and the runtime
+// checkpoint format (src/runtime/checkpoint.h). All multi-byte values are
+// written little-endian byte by byte, so files round-trip across hosts of
+// any endianness; floats travel as their IEEE-754 bit patterns (bit_cast),
+// so round-trips are bit-exact.
+//
+// Reads go through `Reader`, which tracks the byte offset and throws
+// std::runtime_error naming the field being read and the offset where the
+// input ran out — checkpoint loaders prepend their own context so users see
+// "checkpoint: truncated input at offset N reading <field>".
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <stdexcept>
+
+namespace adept::binio {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f32(std::string& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Sequential decoder over a byte buffer (a view — the caller keeps the
+// bytes alive, so bounded sub-ranges of a larger buffer parse without a
+// copy). Every accessor names the field it is reading; failures report that
+// name plus the current byte offset.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf, std::size_t offset = 0,
+                  std::string context = "binio")
+      : buf_(buf), pos_(offset), context_(std::move(context)) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(buf_[pos_++]);
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64(const char* what) { return static_cast<std::int64_t>(u64(what)); }
+  float f32(const char* what) { return std::bit_cast<float>(u32(what)); }
+  double f64(const char* what) { return std::bit_cast<double>(u64(what)); }
+
+  std::string str(const char* what) {
+    const std::uint32_t n = u32(what);
+    need(n, what);
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  // Throws when fewer than `n` bytes remain. Overflow-safe: `n` may come
+  // straight from an untrusted length field near SIZE_MAX.
+  void need(std::size_t n, const char* what) const {
+    if (pos_ > buf_.size() || n > buf_.size() - pos_) {
+      throw std::runtime_error(context_ + ": truncated input at offset " +
+                               std::to_string(pos_) + " reading " + what + " (need " +
+                               std::to_string(n) + " bytes, have " +
+                               std::to_string(pos_ > buf_.size() ? 0 : buf_.size() - pos_) +
+                               ")");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error(context_ + ": " + msg + " at offset " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_;
+  std::string context_;
+};
+
+}  // namespace adept::binio

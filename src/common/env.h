@@ -12,6 +12,19 @@
 //                       scalar | avx2 | avx512 (default: best level the
 //                       binary + CPU support; unknown or unavailable values
 //                       clamp down, never error — see backend/dispatch.h).
+//
+// Serving knobs consumed by runtime::ServerConfig::from_env() (see
+// runtime/server.h; out-of-range values clamp into the supported envelope,
+// they never error — clamping is asserted in tests/test_runtime.cpp):
+//   ADEPT_SERVE_THREADS      worker count for the inference server
+//                            (default: hardware concurrency; clamps to
+//                            [1, 256]).
+//   ADEPT_SERVE_MAX_BATCH    micro-batch ceiling per forward pass
+//                            (default 16; clamps to [1, 4096]).
+//   ADEPT_SERVE_MAX_WAIT_US  how long a worker lingers for stragglers after
+//                            popping the first request of a batch
+//                            (default 100; clamps to [0, 1000000]; 0 =
+//                            serve whatever is already queued immediately).
 #pragma once
 
 #include <string>

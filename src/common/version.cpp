@@ -1,13 +1,21 @@
 #include "common/version.h"
 
+#include <atomic>
+
 namespace adept {
 
 namespace {
-std::uint64_t g_param_version = 1;  // mutation sites run single-threaded
+// Mutation sites run single-threaded, but eval-cache readers (the serving
+// worker pool) poll the counter concurrently, so loads must be atomic.
+std::atomic<std::uint64_t> g_param_version{1};
 }  // namespace
 
-std::uint64_t param_version() { return g_param_version; }
+std::uint64_t param_version() {
+  return g_param_version.load(std::memory_order_acquire);
+}
 
-void bump_param_version() { ++g_param_version; }
+void bump_param_version() {
+  g_param_version.fetch_add(1, std::memory_order_acq_rel);
+}
 
 }  // namespace adept

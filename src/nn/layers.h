@@ -16,6 +16,10 @@ class Linear : public Module {
   std::vector<ag::Tensor> parameters() override;
 
   ag::Tensor& weight() { return weight_; }
+  ag::Tensor& bias() { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
 
  private:
   std::int64_t in_, out_;
@@ -31,6 +35,15 @@ class Conv2d : public Module {
   ag::Tensor forward(const ag::Tensor& x) override;  // [N,C,H,W]
   std::vector<ag::Tensor> parameters() override;
 
+  ag::Tensor& weight() { return weight_; }
+  ag::Tensor& bias() { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  std::int64_t kernel() const { return k_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
  private:
   std::int64_t in_c_, out_c_, k_, stride_, pad_;
   ag::Tensor weight_;  // [C*k*k, out_c]
@@ -43,6 +56,14 @@ class BatchNorm2d : public Module {
                        float eps = 1e-5f);
   ag::Tensor forward(const ag::Tensor& x) override;
   std::vector<ag::Tensor> parameters() override;
+
+  std::int64_t channels() const { return channels_; }
+  float momentum() const { return momentum_; }
+  float eps() const { return eps_; }
+  ag::Tensor& gamma() { return gamma_; }
+  ag::Tensor& beta() { return beta_; }
+  std::vector<float>& running_mean() { return running_mean_; }
+  std::vector<float>& running_var() { return running_var_; }
 
  private:
   std::int64_t channels_;
@@ -61,6 +82,9 @@ class MaxPool2d : public Module {
   MaxPool2d(std::int64_t kernel, std::int64_t stride);
   ag::Tensor forward(const ag::Tensor& x) override;
 
+  std::int64_t kernel() const { return k_; }
+  std::int64_t stride() const { return stride_; }
+
  private:
   std::int64_t k_, stride_;
 };
@@ -69,6 +93,9 @@ class AdaptiveAvgPool2d : public Module {
  public:
   AdaptiveAvgPool2d(std::int64_t out_h, std::int64_t out_w);
   ag::Tensor forward(const ag::Tensor& x) override;
+
+  std::int64_t out_h() const { return out_h_; }
+  std::int64_t out_w() const { return out_w_; }
 
  private:
   std::int64_t out_h_, out_w_;

@@ -21,4 +21,17 @@ void Sequential::set_training(bool training) {
   for (auto& m : modules_) m->set_training(training);
 }
 
+std::vector<std::shared_ptr<Module>> flatten_modules(
+    const std::shared_ptr<Module>& root) {
+  std::vector<std::shared_ptr<Module>> out;
+  if (auto seq = std::dynamic_pointer_cast<Sequential>(root)) {
+    for (const auto& child : seq->modules()) {
+      for (auto& m : flatten_modules(child)) out.push_back(std::move(m));
+    }
+    return out;
+  }
+  if (root) out.push_back(root);
+  return out;
+}
+
 }  // namespace adept::nn

@@ -39,4 +39,11 @@ class Sequential : public Module {
   std::vector<std::shared_ptr<Module>> modules_;
 };
 
+// Flattened view of a module tree: nested Sequentials contribute their
+// children in forward order (forward semantics are identical). Shared by
+// the checkpoint serializer and the compiled-model lowering so the two
+// walks cannot drift.
+std::vector<std::shared_ptr<Module>> flatten_modules(
+    const std::shared_ptr<Module>& root);
+
 }  // namespace adept::nn

@@ -1,6 +1,7 @@
 #include "nn/onn_layers.h"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 
 #include "common/version.h"
@@ -211,15 +212,26 @@ Tensor PtcWeight::weight_expr() {
   // Under NoGradGuard with noise off the materialized weight is a pure
   // function of the parameter/noise version: reuse it until something bumps
   // adept::param_version() (optimizer step, begin_step, noise setters).
+  // Concurrent no-grad readers (the serving worker pool) share the cache
+  // through a shared_mutex: the check-then-assign is no longer a race — the
+  // first builder of a version publishes under the exclusive lock and every
+  // later reader of that version takes the shared lock.
   const bool cacheable = !ag::GradMode::enabled() && noise_sigma_ == 0.0;
-  if (cacheable && cached_weight_.defined() &&
-      cached_version_ == adept::param_version()) {
-    return cached_weight_;
+  if (!cacheable) return build_weight();
+  const std::uint64_t version = adept::param_version();
+  {
+    std::shared_lock lock(cache_mutex_);
+    if (cached_weight_.defined() && cached_version_ == version) {
+      return cached_weight_;
+    }
   }
   Tensor w = build_weight();
-  if (cacheable) {
+  std::unique_lock lock(cache_mutex_);
+  // Publish only if the cache is empty or strictly older: a builder that
+  // raced past a version bump must not clobber a newer published weight.
+  if (!cached_weight_.defined() || cached_version_ < version) {
     cached_weight_ = w;
-    cached_version_ = adept::param_version();
+    cached_version_ = version;
   }
   return w;
 }

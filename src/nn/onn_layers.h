@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 
 #include "autograd/complex.h"
 #include "common/rng.h"
@@ -88,6 +89,17 @@ class PtcWeight {
   std::int64_t tile_rows() const { return p_; }
   std::int64_t tile_cols() const { return q_; }
 
+  // ---- export hooks (checkpointing / compiled runtime) -------------------
+  // Direct access to the stored parameter stacks. Writers that mutate the
+  // returned tensors' data() buffers must call adept::bump_param_version().
+  const PtcBinding& binding() const { return binding_; }
+  std::vector<ag::Tensor>& phi_u() { return phi_u_; }
+  std::vector<ag::Tensor>& phi_v() { return phi_v_; }
+  ag::Tensor& sigma_stack() { return sigma_; }
+  ag::Tensor& dense_weight() { return dense_weight_; }
+  std::int64_t out_features() const { return out_; }
+  std::int64_t in_features() const { return in_; }
+
  private:
   ag::Tensor build_weight();  // batched chain, no cache logic
   ag::CxTensor batched_fixed_unitary(const std::vector<ag::CxTensor>& pt_consts,
@@ -109,7 +121,11 @@ class PtcWeight {
   // ptc: precomputed constant P*T complex matrices per block
   std::vector<ag::CxTensor> pt_u_, pt_v_;
 
-  // Materialized eval-weight cache (see header comment).
+  // Materialized eval-weight cache (see header comment). Concurrent no-grad
+  // readers (the serving worker pool) share the cache: reads take the shared
+  // lock, the first builder of a new version publishes under the exclusive
+  // lock, and later builders of the same version discard their copy.
+  mutable std::shared_mutex cache_mutex_;
   ag::Tensor cached_weight_;
   std::uint64_t cached_version_ = 0;
 };
@@ -135,6 +151,10 @@ class ONNLinear : public OnnLayer {
   PhaseNoiseState phase_noise_state() const override;
   void restore_phase_noise(const PhaseNoiseState& state) override;
   PtcWeight& weight() { return weight_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  bool has_bias() const { return bias_.defined(); }
+  ag::Tensor& bias() { return bias_; }
 
  private:
   std::int64_t in_, out_;
@@ -154,6 +174,13 @@ class ONNConv2d : public OnnLayer {
   PhaseNoiseState phase_noise_state() const override;
   void restore_phase_noise(const PhaseNoiseState& state) override;
   PtcWeight& weight() { return weight_; }
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  std::int64_t kernel() const { return k_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  bool has_bias() const { return bias_.defined(); }
+  ag::Tensor& bias() { return bias_; }
 
  private:
   std::int64_t in_c_, out_c_, k_, stride_, pad_;

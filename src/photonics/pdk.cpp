@@ -6,4 +6,20 @@ Pdk Pdk::amf() { return Pdk{"AMF", 6800.0, 1500.0, 64.0}; }
 
 Pdk Pdk::aim() { return Pdk{"AIM", 2500.0, 4000.0, 4900.0}; }
 
+void Pdk::serialize_binary(std::string& out) const {
+  binio::put_str(out, name);
+  binio::put_f64(out, ps_area_um2);
+  binio::put_f64(out, dc_area_um2);
+  binio::put_f64(out, cr_area_um2);
+}
+
+Pdk Pdk::deserialize_binary(binio::Reader& r) {
+  Pdk pdk;
+  pdk.name = r.str("pdk name");
+  pdk.ps_area_um2 = r.f64("pdk ps_area_um2");
+  pdk.dc_area_um2 = r.f64("pdk dc_area_um2");
+  pdk.cr_area_um2 = r.f64("pdk cr_area_um2");
+  return pdk;
+}
+
 }  // namespace adept::photonics

@@ -9,6 +9,8 @@
 
 #include <string>
 
+#include "common/binio.h"
+
 namespace adept::photonics {
 
 struct Pdk {
@@ -19,6 +21,11 @@ struct Pdk {
 
   static Pdk amf();
   static Pdk aim();
+
+  // Endian-explicit binary encoding (appended to `out`) used by the runtime
+  // checkpoint format; doubles travel as IEEE-754 bit patterns.
+  void serialize_binary(std::string& out) const;
+  static Pdk deserialize_binary(binio::Reader& r);
 };
 
 }  // namespace adept::photonics

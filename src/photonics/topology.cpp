@@ -1,5 +1,6 @@
 #include "photonics/topology.h"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -70,27 +71,97 @@ void serialize_blocks(std::ostringstream& os, const std::vector<BlockSpec>& bloc
   }
 }
 
-std::vector<BlockSpec> deserialize_blocks(std::istringstream& is, int k) {
+// Stream offset usable in error messages even after a failed extraction.
+std::string offset_str(std::istringstream& is) {
+  const auto pos = is.tellg();
+  return pos < 0 ? std::string("end of input") : "offset " + std::to_string(pos);
+}
+
+[[noreturn]] void fail_at(std::istringstream& is, const std::string& what) {
+  throw std::invalid_argument("PtcTopology::deserialize: " + what + " (" +
+                              offset_str(is) + ")");
+}
+
+// Extract one whitespace-delimited value or fail with side/block/field info.
+template <typename T>
+void read_field(std::istringstream& is, T& out, const std::string& what) {
+  if (!(is >> out)) fail_at(is, "truncated input reading " + what);
+}
+
+std::vector<BlockSpec> deserialize_blocks(std::istringstream& is, int k,
+                                          const char* side) {
   std::size_t n = 0;
-  is >> n;
+  read_field(is, n, std::string(side) + " block count");
+  // Bound the count against the characters actually left in the stream
+  // before sizing the vector: a negative count wraps to SIZE_MAX on
+  // unsigned extraction and must fail through the contextualized path, not
+  // as std::length_error/bad_alloc. Every block needs several characters;
+  // one-per-char is a safely generous ceiling.
+  const auto pos = is.tellg();
+  const std::size_t remaining =
+      pos < 0 ? 0 : is.view().size() - static_cast<std::size_t>(pos);
+  if (n > remaining) {
+    fail_at(is, "implausible " + std::string(side) + " block count " +
+                    std::to_string(n) + " (only " + std::to_string(remaining) +
+                    " characters remain)");
+  }
   std::vector<BlockSpec> blocks(n);
-  for (auto& b : blocks) {
+  for (std::size_t bi = 0; bi < n; ++bi) {
+    auto& b = blocks[bi];
+    const std::string where = std::string(side) + " block " + std::to_string(bi);
     std::size_t mask_size = 0;
     std::string mask_str, perm_str;
-    is >> b.start >> mask_size >> mask_str >> perm_str;
+    read_field(is, b.start, where + " parity");
+    read_field(is, mask_size, where + " mask size");
+    read_field(is, mask_str, where + " dc mask");
+    read_field(is, perm_str, where + " permutation");
+    if (b.start != 0 && b.start != 1) {
+      fail_at(is, "bad parity in " + where + ": " + std::to_string(b.start) +
+                      " (must be 0 or 1)");
+    }
+    if (static_cast<std::int64_t>(mask_size) != dc_slots(k, b.start)) {
+      fail_at(is, "K mismatch in " + where + ": mask has " +
+                      std::to_string(mask_size) + " slots, K=" + std::to_string(k) +
+                      " parity " + std::to_string(b.start) + " expects " +
+                      std::to_string(dc_slots(k, b.start)));
+    }
     if (mask_str.size() != mask_size) {
-      throw std::invalid_argument("PtcTopology::deserialize: bad mask");
+      fail_at(is, "bad mask in " + where + ": token \"" + mask_str + "\" has " +
+                      std::to_string(mask_str.size()) + " slots, header says " +
+                      std::to_string(mask_size));
     }
     b.dc_mask.resize(mask_size);
-    for (std::size_t i = 0; i < mask_size; ++i) b.dc_mask[i] = mask_str[i] == '1';
+    for (std::size_t i = 0; i < mask_size; ++i) {
+      if (mask_str[i] != '0' && mask_str[i] != '1') {
+        fail_at(is, "bad mask in " + where + ": slot " + std::to_string(i) +
+                        " of token \"" + mask_str + "\" is not 0/1");
+      }
+      b.dc_mask[i] = mask_str[i] == '1';
+    }
     std::vector<int> map;
     std::stringstream ps(perm_str);
     std::string tok;
-    while (std::getline(ps, tok, ',')) map.push_back(std::stoi(tok));
-    if (static_cast<int>(map.size()) != k) {
-      throw std::invalid_argument("PtcTopology::deserialize: bad perm");
+    while (std::getline(ps, tok, ',')) {
+      try {
+        std::size_t used = 0;
+        const int v = std::stoi(tok, &used);
+        if (used != tok.size()) throw std::invalid_argument(tok);
+        map.push_back(v);
+      } catch (const std::exception&) {
+        fail_at(is, "bad perm in " + where + ": token \"" + tok +
+                        "\" is not an integer");
+      }
     }
-    b.perm = Permutation(std::move(map));
+    if (static_cast<int>(map.size()) != k) {
+      fail_at(is, "bad perm in " + where + ": \"" + perm_str + "\" has " +
+                      std::to_string(map.size()) + " entries, topology K is " +
+                      std::to_string(k));
+    }
+    try {
+      b.perm = Permutation(std::move(map));
+    } catch (const std::exception& e) {
+      fail_at(is, "bad perm in " + where + ": \"" + perm_str + "\": " + e.what());
+    }
   }
   return blocks;
 }
@@ -109,12 +180,105 @@ PtcTopology PtcTopology::deserialize(const std::string& text) {
   std::istringstream is(text);
   std::string magic;
   PtcTopology topo;
-  is >> magic >> topo.k >> topo.name;
-  if (magic != "ptc") throw std::invalid_argument("PtcTopology::deserialize: bad magic");
+  read_field(is, magic, "header magic");
+  if (magic != "ptc") {
+    fail_at(is, "bad magic: expected \"ptc\", got \"" + magic + "\"");
+  }
+  read_field(is, topo.k, "header K");
+  read_field(is, topo.name, "header name");
   if (topo.name == "-") topo.name.clear();
-  topo.u_blocks = deserialize_blocks(is, topo.k);
-  topo.v_blocks = deserialize_blocks(is, topo.k);
+  if (topo.k <= 0 || topo.k % 2 != 0) {
+    fail_at(is, "bad header K " + std::to_string(topo.k) +
+                    " (must be positive and even)");
+  }
+  topo.u_blocks = deserialize_blocks(is, topo.k, "U");
+  topo.v_blocks = deserialize_blocks(is, topo.k, "V");
   topo.validate();
+  return topo;
+}
+
+namespace {
+
+constexpr std::uint32_t kTopologyBinaryTag = 0x31435450;  // "PTC1"
+
+void serialize_blocks_binary(std::string& out, const std::vector<BlockSpec>& blocks) {
+  binio::put_u32(out, static_cast<std::uint32_t>(blocks.size()));
+  for (const auto& b : blocks) {
+    binio::put_u8(out, static_cast<std::uint8_t>(b.start));
+    binio::put_u32(out, static_cast<std::uint32_t>(b.dc_mask.size()));
+    for (bool m : b.dc_mask) binio::put_u8(out, m ? 1 : 0);
+    binio::put_u32(out, static_cast<std::uint32_t>(b.perm.size()));
+    for (int i = 0; i < b.perm.size(); ++i) {
+      binio::put_u32(out, static_cast<std::uint32_t>(b.perm(i)));
+    }
+  }
+}
+
+std::vector<BlockSpec> deserialize_blocks_binary(binio::Reader& r, const char* side) {
+  const std::uint32_t n = r.u32("block count");
+  // Plausibility bounds before sizing allocations from on-disk counts: a
+  // corrupt count field must fail through the contextualized Reader path,
+  // not as an uncontextualized bad_alloc. Every block needs >= 9 payload
+  // bytes, every mask slot 1 byte, every perm entry 4 bytes.
+  if (n > r.remaining() / 9) {
+    r.fail("implausible " + std::string(side) + " block count " + std::to_string(n) +
+           " (only " + std::to_string(r.remaining()) + " bytes remain)");
+  }
+  std::vector<BlockSpec> blocks(n);
+  for (std::uint32_t bi = 0; bi < n; ++bi) {
+    auto& b = blocks[bi];
+    const std::string where = std::string(side) + " block " + std::to_string(bi);
+    b.start = r.u8((where + " parity").c_str());
+    const std::uint32_t mask_size = r.u32((where + " mask size").c_str());
+    r.need(mask_size, (where + " dc mask").c_str());
+    b.dc_mask.resize(mask_size);
+    for (std::uint32_t i = 0; i < mask_size; ++i) {
+      const std::uint8_t m = r.u8((where + " mask slot").c_str());
+      if (m > 1) r.fail("bad mask slot in " + where + ": byte " + std::to_string(m));
+      b.dc_mask[i] = m == 1;
+    }
+    const std::uint32_t perm_size = r.u32((where + " perm size").c_str());
+    r.need(static_cast<std::size_t>(perm_size) * 4, (where + " permutation").c_str());
+    std::vector<int> map(perm_size);
+    for (auto& v : map) v = static_cast<int>(r.u32((where + " perm entry").c_str()));
+    try {
+      b.perm = Permutation(std::move(map));
+    } catch (const std::exception& e) {
+      r.fail("bad perm in " + where + ": " + e.what());
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+void PtcTopology::serialize_binary(std::string& out) const {
+  binio::put_u32(out, kTopologyBinaryTag);
+  binio::put_u32(out, static_cast<std::uint32_t>(k));
+  binio::put_str(out, name);
+  serialize_blocks_binary(out, u_blocks);
+  serialize_blocks_binary(out, v_blocks);
+}
+
+PtcTopology PtcTopology::deserialize_binary(binio::Reader& r) {
+  const std::uint32_t tag = r.u32("topology tag");
+  if (tag != kTopologyBinaryTag) {
+    r.fail("bad topology tag 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", tag);
+      return std::string(buf);
+    }());
+  }
+  PtcTopology topo;
+  topo.k = static_cast<int>(r.u32("topology K"));
+  topo.name = r.str("topology name");
+  topo.u_blocks = deserialize_blocks_binary(r, "U");
+  topo.v_blocks = deserialize_blocks_binary(r, "V");
+  try {
+    topo.validate();
+  } catch (const std::exception& e) {
+    r.fail(std::string("invalid topology: ") + e.what());
+  }
   return topo;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.h"
 #include "photonics/pdk.h"
 #include "photonics/permutation.h"
 
@@ -54,9 +55,19 @@ struct PtcTopology {
   // malformed topologies.
   void validate() const;
 
-  // Round-trippable text serialization (one topology per string).
+  // Round-trippable text serialization (one topology per string). Error
+  // messages from deserialize name the offending side/block/field, quote the
+  // bad token, and give the stream offset.
   std::string serialize() const;
   static PtcTopology deserialize(const std::string& text);
+
+  // Endian-explicit binary encoding (appended to `out`) used by the runtime
+  // checkpoint format; round-trips are bit-exact across host endianness.
+  // deserialize_binary advances the reader past one topology and validates
+  // the result; failures throw std::runtime_error with the reader's context
+  // plus field name and byte offset.
+  void serialize_binary(std::string& out) const;
+  static PtcTopology deserialize_binary(binio::Reader& r);
 };
 
 // Expected parity for block index b (paper Sec. 3.2: s_b = 0 for even block

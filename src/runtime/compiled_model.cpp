@@ -1,0 +1,402 @@
+#include "runtime/compiled_model.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "autograd/ops.h"
+#include "autograd/tensor.h"
+#include "backend/kernels.h"
+#include "nn/layers.h"
+#include "nn/onn_layers.h"
+
+namespace adept::runtime {
+
+namespace be = ::adept::backend;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("CompiledModel: " + msg);
+}
+
+std::string dims_str(const std::vector<std::int64_t>& dims) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(dims[i]);
+  }
+  return s + "]";
+}
+
+std::int64_t numel_of(const std::vector<std::int64_t>& dims) {
+  std::int64_t n = 1;
+  for (auto d : dims) n *= d;
+  return n;
+}
+
+// Eval-time [out,in] weight of an ONN layer through the cached batched
+// weight_expr path, with phase noise suspended (sigma pushed to 0 and
+// popped, drift stream untouched) so the frozen plan is the nominal design.
+ag::Tensor frozen_onn_weight(nn::PtcWeight& w) {
+  ag::NoGradGuard guard;
+  const double sigma = w.phase_noise();
+  w.set_phase_noise_sigma(0.0);
+  ag::Tensor weight = w.weight_expr();
+  w.set_phase_noise_sigma(sigma);
+  return weight;
+}
+
+// [out,in] -> [in,out] copy (the materialized transpose ONNLinear/ONNConv2d
+// forward feeds to the N/N gemm; transposition moves values untouched).
+std::vector<float> transposed(const std::vector<float>& w, std::int64_t out,
+                              std::int64_t in) {
+  std::vector<float> wt(w.size());
+  for (std::int64_t i = 0; i < out; ++i) {
+    for (std::int64_t j = 0; j < in; ++j) {
+      wt[static_cast<std::size_t>(j * out + i)] = w[static_cast<std::size_t>(i * in + j)];
+    }
+  }
+  return wt;
+}
+
+}  // namespace
+
+CompiledModel CompiledModel::freeze(nn::OnnModel& model,
+                                    std::vector<std::int64_t> input_dims) {
+  if (!model.net) fail("model has no module graph");
+  if (input_dims.empty()) fail("input_dims must not be empty");
+  const std::vector<std::shared_ptr<nn::Module>> modules =
+      nn::flatten_modules(model.net);
+
+  CompiledModel cm;
+  cm.input_dims_ = input_dims;
+  cm.input_numel_ = numel_of(input_dims);
+  cm.max_interm_numel_ = cm.input_numel_;
+
+  std::vector<std::int64_t> cur = input_dims;  // per-sample dims, no batch
+  auto expect_chw = [&](const char* what) {
+    if (cur.size() != 3) {
+      fail(std::string(what) + " expects a [C,H,W] input, got " + dims_str(cur));
+    }
+  };
+  auto expect_features = [&](const char* what, std::int64_t want) {
+    const std::int64_t have = numel_of(cur);
+    if (have != want) {
+      fail(std::string(what) + " expects " + std::to_string(want) +
+           " input features, the plan carries " + dims_str(cur) + " = " +
+           std::to_string(have));
+    }
+  };
+
+  for (std::size_t mi = 0; mi < modules.size(); ++mi) {
+    nn::Module& m = *modules[mi];
+    Step s;
+    s.in_numel = numel_of(cur);
+    if (auto* l = dynamic_cast<nn::ONNLinear*>(&m)) {
+      expect_features("ONNLinear", l->in_features());
+      s.kind = Step::Kind::linear;
+      s.in_feat = l->in_features();
+      s.out_feat = l->out_features();
+      ag::Tensor w = frozen_onn_weight(l->weight());  // [out, in]
+      s.weight = transposed(w.data(), s.out_feat, s.in_feat);
+      s.packed = be::pack_gemm_b(be::Trans::N, s.in_feat, s.out_feat,
+                                 s.weight.data(), s.out_feat);
+      if (l->has_bias()) s.bias = l->bias().data();
+      cur = {s.out_feat};
+    } else if (auto* c = dynamic_cast<nn::ONNConv2d*>(&m)) {
+      expect_chw("ONNConv2d");
+      if (cur[0] != c->in_channels()) {
+        fail("ONNConv2d expects " + std::to_string(c->in_channels()) +
+             " input channels, the plan carries " + dims_str(cur));
+      }
+      s.kind = Step::Kind::conv;
+      s.c = cur[0];
+      s.h = cur[1];
+      s.w = cur[2];
+      s.k = c->kernel();
+      s.stride = c->stride();
+      s.pad = c->pad();
+      s.out_c = c->out_channels();
+      s.oh = (s.h + 2 * s.pad - s.k) / s.stride + 1;
+      s.ow = (s.w + 2 * s.pad - s.k) / s.stride + 1;
+      if (s.oh <= 0 || s.ow <= 0) {
+        fail("ONNConv2d output is empty for input " + dims_str(cur));
+      }
+      ag::Tensor w = frozen_onn_weight(c->weight());  // [out_c, fan_in]
+      s.weight = transposed(w.data(), s.out_c, s.c * s.k * s.k);
+      s.packed = be::pack_gemm_b(be::Trans::N, s.c * s.k * s.k, s.out_c,
+                                 s.weight.data(), s.out_c);
+      if (c->has_bias()) s.bias = c->bias().data();
+      cur = {s.out_c, s.oh, s.ow};
+    } else if (auto* l = dynamic_cast<nn::Linear*>(&m)) {
+      expect_features("Linear", l->in_features());
+      s.kind = Step::Kind::linear;
+      s.in_feat = l->in_features();
+      s.out_feat = l->out_features();
+      s.weight = l->weight().data();  // already [in, out]
+      s.packed = be::pack_gemm_b(be::Trans::N, s.in_feat, s.out_feat,
+                                 s.weight.data(), s.out_feat);
+      if (l->has_bias()) s.bias = l->bias().data();
+      cur = {s.out_feat};
+    } else if (auto* c = dynamic_cast<nn::Conv2d*>(&m)) {
+      expect_chw("Conv2d");
+      if (cur[0] != c->in_channels()) {
+        fail("Conv2d expects " + std::to_string(c->in_channels()) +
+             " input channels, the plan carries " + dims_str(cur));
+      }
+      s.kind = Step::Kind::conv;
+      s.c = cur[0];
+      s.h = cur[1];
+      s.w = cur[2];
+      s.k = c->kernel();
+      s.stride = c->stride();
+      s.pad = c->pad();
+      s.out_c = c->out_channels();
+      s.oh = (s.h + 2 * s.pad - s.k) / s.stride + 1;
+      s.ow = (s.w + 2 * s.pad - s.k) / s.stride + 1;
+      if (s.oh <= 0 || s.ow <= 0) {
+        fail("Conv2d output is empty for input " + dims_str(cur));
+      }
+      s.weight = c->weight().data();  // already [fan_in, out_c]
+      s.packed = be::pack_gemm_b(be::Trans::N, s.c * s.k * s.k, s.out_c,
+                                 s.weight.data(), s.out_c);
+      if (c->has_bias()) s.bias = c->bias().data();
+      cur = {s.out_c, s.oh, s.ow};
+    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+      expect_chw("BatchNorm2d");
+      if (cur[0] != bn->channels()) {
+        fail("BatchNorm2d expects " + std::to_string(bn->channels()) +
+             " channels, the plan carries " + dims_str(cur));
+      }
+      s.kind = Step::Kind::batchnorm;
+      s.c = cur[0];
+      s.h = cur[1];
+      s.w = cur[2];
+      s.mu = bn->running_mean();
+      s.gamma = bn->gamma().data();
+      s.beta = bn->beta().data();
+      // Same expression ops.cpp's eval branch evaluates (float var + float
+      // eps, double reciprocal sqrt, cast to float) — bit-identical invstd.
+      const std::vector<float>& var = bn->running_var();
+      s.invstd.resize(var.size());
+      for (std::size_t ci = 0; ci < var.size(); ++ci) {
+        s.invstd[ci] = static_cast<float>(1.0 / std::sqrt(var[ci] + bn->eps()));
+      }
+    } else if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+      // Peephole: fold into the producing step's store when it can clamp
+      // inline (identical bits, one fewer full-buffer pass).
+      if (!cm.steps_.empty() && !cm.steps_.back().relu_after &&
+          (cm.steps_.back().kind == Step::Kind::linear ||
+           cm.steps_.back().kind == Step::Kind::conv ||
+           cm.steps_.back().kind == Step::Kind::batchnorm)) {
+        cm.steps_.back().relu_after = true;
+        continue;
+      }
+      s.kind = Step::Kind::relu;
+    } else if (auto* mp = dynamic_cast<nn::MaxPool2d*>(&m)) {
+      expect_chw("MaxPool2d");
+      s.kind = Step::Kind::maxpool;
+      s.c = cur[0];
+      s.h = cur[1];
+      s.w = cur[2];
+      s.k = mp->kernel();
+      s.stride = mp->stride();
+      s.oh = (s.h - s.k) / s.stride + 1;
+      s.ow = (s.w - s.k) / s.stride + 1;
+      if (s.oh <= 0 || s.ow <= 0) {
+        fail("MaxPool2d output is empty for input " + dims_str(cur));
+      }
+      cur = {s.c, s.oh, s.ow};
+    } else if (auto* ap = dynamic_cast<nn::AdaptiveAvgPool2d*>(&m)) {
+      expect_chw("AdaptiveAvgPool2d");
+      s.kind = Step::Kind::avgpool;
+      s.c = cur[0];
+      s.h = cur[1];
+      s.w = cur[2];
+      s.oh = ap->out_h();
+      s.ow = ap->out_w();
+      cur = {s.c, s.oh, s.ow};
+    } else if (dynamic_cast<nn::Flatten*>(&m) != nullptr) {
+      // Pure shape bookkeeping: [C,H,W] and [C*H*W] share one row-major
+      // buffer, so no step is emitted.
+      cur = {numel_of(cur)};
+      continue;
+    } else {
+      fail("module " + std::to_string(mi) +
+           ": unsupported module type (the lowering knows the nn/ layer set)");
+    }
+    s.out_numel = numel_of(cur);
+    cm.max_interm_numel_ = std::max(cm.max_interm_numel_, s.out_numel);
+    cm.steps_.push_back(std::move(s));
+  }
+  if (cm.steps_.empty()) fail("model lowered to an empty plan");
+  cm.output_numel_ = numel_of(cur);
+  return cm;
+}
+
+void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
+                          float* dst, Workspace& ws) const {
+  switch (s.kind) {
+    case Step::Kind::linear: {
+      // ag::matmul forward: one N/N gemm, alpha=1 beta=0 (weight panels
+      // pre-packed at freeze; bit-identical either way).
+      be::gemm_packed(batch, s.out_feat, s.in_feat, 1.0f, src, s.in_feat,
+                      be::Trans::N, s.weight.data(), s.out_feat, s.packed,
+                      0.0f, dst, s.out_feat);
+      const std::size_t n = static_cast<std::size_t>(batch * s.out_feat);
+      const std::size_t m = static_cast<std::size_t>(s.out_feat);
+      if (!s.bias.empty()) {
+        const float* b = s.bias.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          const float v = dst[i] + b[i % m];
+          dst[i] = !s.relu_after || v > 0.0f ? v : 0.0f;
+        }
+      } else if (s.relu_after) {
+        for (std::size_t i = 0; i < n; ++i) dst[i] = dst[i] > 0.0f ? dst[i] : 0.0f;
+      }
+      break;
+    }
+    case Step::Kind::conv: {
+      const std::int64_t rows = batch * s.oh * s.ow;
+      const std::int64_t fan_in = s.c * s.k * s.k;
+      ws.cols.resize(static_cast<std::size_t>(rows * fan_in));
+      ws.rows.resize(static_cast<std::size_t>(rows * s.out_c));
+      be::im2col(src, batch, s.c, s.h, s.w, s.k, s.k, s.stride, s.pad,
+                 ws.cols.data());
+      be::gemm_packed(rows, s.out_c, fan_in, 1.0f, ws.cols.data(), fan_in,
+                      be::Trans::N, s.weight.data(), s.out_c, s.packed, 0.0f,
+                      ws.rows.data(), s.out_c);
+      // Fused bias + optional ReLU + rows_to_nchw store: same per-element
+      // arithmetic as the separate bias/relu/rearrange passes of the tape.
+      const float* bias = s.bias.empty() ? nullptr : s.bias.data();
+      const float* rp = ws.rows.data();
+      for (std::int64_t ni = 0; ni < batch; ++ni) {
+        for (std::int64_t yo = 0; yo < s.oh; ++yo) {
+          for (std::int64_t xo = 0; xo < s.ow; ++xo) {
+            const std::int64_t row = (ni * s.oh + yo) * s.ow + xo;
+            for (std::int64_t ci = 0; ci < s.out_c; ++ci) {
+              float v = rp[row * s.out_c + ci];
+              if (bias != nullptr) v += bias[ci];
+              if (s.relu_after) v = v > 0.0f ? v : 0.0f;
+              dst[((ni * s.out_c + ci) * s.oh + yo) * s.ow + xo] = v;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Step::Kind::batchnorm: {
+      // ops.cpp eval path: y = ((x - mu) * invstd) * gamma + beta.
+      const std::int64_t plane = s.h * s.w;
+      be::for_each_index(
+          batch * s.c,
+          [&, plane](std::int64_t slice) {
+            const std::int64_t ci = slice % s.c;
+            const float mu = s.mu[static_cast<std::size_t>(ci)];
+            const float is = s.invstd[static_cast<std::size_t>(ci)];
+            const float g = s.gamma[static_cast<std::size_t>(ci)];
+            const float b = s.beta[static_cast<std::size_t>(ci)];
+            const float* xb = src + slice * plane;
+            float* ob = dst + slice * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+              const float v = (xb[i] - mu) * is * g + b;
+              ob[i] = !s.relu_after || v > 0.0f ? v : 0.0f;
+            }
+          },
+          std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)));
+      break;
+    }
+    case Step::Kind::relu: {
+      be::map(static_cast<std::size_t>(batch * s.in_numel), src, dst,
+              [](float x) { return x > 0.0f ? x : 0.0f; });
+      break;
+    }
+    case Step::Kind::maxpool: {
+      be::for_each_index(
+          batch * s.c,
+          [&](std::int64_t slice) {
+            const float* xplane = src + slice * s.h * s.w;
+            for (std::int64_t yo = 0; yo < s.oh; ++yo) {
+              for (std::int64_t xo = 0; xo < s.ow; ++xo) {
+                float best = -std::numeric_limits<float>::infinity();
+                for (std::int64_t ky = 0; ky < s.k; ++ky) {
+                  for (std::int64_t kx = 0; kx < s.k; ++kx) {
+                    const std::int64_t yi = yo * s.stride + ky;
+                    const std::int64_t xi = xo * s.stride + kx;
+                    const float v = xplane[yi * s.w + xi];
+                    if (v > best) best = v;
+                  }
+                }
+                dst[(slice * s.oh + yo) * s.ow + xo] = best;
+              }
+            }
+          },
+          /*grain=*/1);
+      break;
+    }
+    case Step::Kind::avgpool: {
+      be::for_each_index(
+          batch * s.c,
+          [&](std::int64_t slice) {
+            const float* xplane = src + slice * s.h * s.w;
+            float* oplane = dst + slice * s.oh * s.ow;
+            for (std::int64_t yo = 0; yo < s.oh; ++yo) {
+              const std::int64_t y0 = ag::pool_bin_start(yo, s.h, s.oh);
+              const std::int64_t y1 = ag::pool_bin_end(yo, s.h, s.oh);
+              for (std::int64_t xo = 0; xo < s.ow; ++xo) {
+                const std::int64_t x0 = ag::pool_bin_start(xo, s.w, s.ow);
+                const std::int64_t x1 = ag::pool_bin_end(xo, s.w, s.ow);
+                double acc = 0.0;
+                for (std::int64_t yi = y0; yi < y1; ++yi) {
+                  for (std::int64_t xi = x0; xi < x1; ++xi) {
+                    acc += xplane[yi * s.w + xi];
+                  }
+                }
+                oplane[yo * s.ow + xo] = static_cast<float>(
+                    acc / static_cast<double>((y1 - y0) * (x1 - x0)));
+              }
+            }
+          },
+          /*grain=*/1);
+      break;
+    }
+  }
+}
+
+void CompiledModel::run(const float* input, std::int64_t batch, float* output,
+                        Workspace& ws) const {
+  if (batch <= 0) fail("run: batch must be positive");
+  const std::size_t cap = static_cast<std::size_t>(batch * max_interm_numel_);
+  ws.a.resize(cap);
+  ws.b.resize(cap);
+  const float* src = input;
+  bool use_a = true;
+  for (std::size_t si = 0; si < steps_.size(); ++si) {
+    float* dst;
+    if (si + 1 == steps_.size()) {
+      dst = output;
+    } else {
+      dst = use_a ? ws.a.data() : ws.b.data();
+      use_a = !use_a;
+    }
+    apply(steps_[si], src, batch, dst, ws);
+    src = dst;
+  }
+}
+
+std::vector<float> CompiledModel::run(const std::vector<float>& input,
+                                      std::int64_t batch) const {
+  if (batch <= 0 || input.size() != static_cast<std::size_t>(batch * input_numel_)) {
+    fail("run: input has " + std::to_string(input.size()) + " values, expected batch " +
+         std::to_string(batch) + " x " + std::to_string(input_numel_));
+  }
+  Workspace ws;
+  std::vector<float> out(static_cast<std::size_t>(batch * output_numel_));
+  run(input.data(), batch, out.data(), ws);
+  return out;
+}
+
+}  // namespace adept::runtime

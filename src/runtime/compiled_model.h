@@ -1,0 +1,93 @@
+// Tape-free compiled inference over a frozen model.
+//
+// `CompiledModel::freeze` walks the module graph once, materializes every
+// ONN layer's eval-time weight through the existing batched `weight_expr`
+// path (phase noise suspended, stream untouched), and lowers the forward
+// pass into a flat list of steps that call the backend kernels
+// (`gemm`/`im2col`/pool/activation) directly on raw float buffers — no
+// ag::Tensor nodes, no tape, no gradient plumbing, no per-op allocations
+// beyond a reusable workspace.
+//
+// Guarantees:
+//   * Bit-exact against `model.net->forward` in eval mode with phase noise
+//     off: every step reproduces the corresponding ag op's forward
+//     arithmetic (same kernels, same accumulation order), so outputs match
+//     bit for bit at any batch size and thread count.
+//   * `run` is const and takes the scratch workspace by reference, so one
+//     CompiledModel is safely shared by many threads (the serving pool in
+//     runtime/server.h) as long as each thread owns its Workspace.
+//   * Frozen weights are copies: later training steps or noise injection on
+//     the source model do not disturb a compiled instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/kernels.h"
+#include "nn/models.h"
+
+namespace adept::runtime {
+
+class CompiledModel {
+ public:
+  // Reusable per-thread scratch. Buffers grow to the high-water mark of the
+  // plan and stay allocated, so steady-state runs are allocation-free.
+  struct Workspace {
+    std::vector<float> a, b, cols, rows;
+  };
+
+  // Lower `model` for inputs of per-sample shape `input_dims` (no batch
+  // dim): {C,H,W} for CNNs, {features} for MLPs. The model's training flag
+  // is irrelevant — the plan always encodes eval semantics (BatchNorm
+  // running stats, no noise). Throws std::runtime_error for module types
+  // the lowering does not know or shape mismatches along the walk.
+  static CompiledModel freeze(nn::OnnModel& model,
+                              std::vector<std::int64_t> input_dims);
+
+  // Batched inference: `input` is [batch, input_numel()] row-major,
+  // `output` receives [batch, output_numel()].
+  void run(const float* input, std::int64_t batch, float* output,
+           Workspace& ws) const;
+  // Convenience wrapper owning a transient workspace.
+  std::vector<float> run(const std::vector<float>& input,
+                         std::int64_t batch) const;
+
+  std::int64_t input_numel() const { return input_numel_; }
+  std::int64_t output_numel() const { return output_numel_; }
+  const std::vector<std::int64_t>& input_dims() const { return input_dims_; }
+  std::size_t num_steps() const { return steps_.size(); }
+
+ private:
+  struct Step {
+    enum class Kind : std::uint8_t { linear, conv, batchnorm, relu, maxpool, avgpool };
+    Kind kind = Kind::relu;
+    std::int64_t in_numel = 0, out_numel = 0;  // per sample
+    // linear: weight [in,out]; conv: weight [C*k*k, out_c] (gemm-ready)
+    std::int64_t in_feat = 0, out_feat = 0;
+    std::int64_t c = 0, h = 0, w = 0, k = 0, stride = 0, pad = 0;
+    std::int64_t oh = 0, ow = 0, out_c = 0;
+    std::vector<float> weight;
+    // Weight panels pre-packed for the active SIMD level at freeze time, so
+    // steady-state gemms skip per-call packing (bit-identical either way;
+    // gemm_packed falls back to `weight` if the dispatch level changes).
+    backend::PackedGemmB packed;
+    std::vector<float> bias;  // empty = no bias
+    // A following ReLU folded into this step's store (max(v, 0) of the same
+    // value is bit-identical to a separate relu pass, one buffer sweep
+    // cheaper). Set by the freeze-time peephole for linear/conv/batchnorm.
+    bool relu_after = false;
+    // batchnorm (eval): y = ((x - mu) * invstd) * gamma + beta per channel
+    std::vector<float> mu, invstd, gamma, beta;
+  };
+
+  void apply(const Step& s, const float* src, std::int64_t batch, float* dst,
+             Workspace& ws) const;
+
+  std::vector<Step> steps_;
+  std::vector<std::int64_t> input_dims_;
+  std::int64_t input_numel_ = 0;
+  std::int64_t output_numel_ = 0;
+  std::int64_t max_interm_numel_ = 0;  // workspace high-water mark per sample
+};
+
+}  // namespace adept::runtime

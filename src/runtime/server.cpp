@@ -1,0 +1,193 @@
+#include "runtime/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/env.h"
+
+namespace adept::runtime {
+
+namespace {
+
+int clamp_int(int v, int lo, int hi) { return std::min(std::max(v, lo), hi); }
+
+}  // namespace
+
+ServerConfig ServerConfig::clamped() const {
+  ServerConfig c = *this;
+  c.threads = clamp_int(c.threads, 1, 256);
+  c.max_batch = clamp_int(c.max_batch, 1, 4096);
+  c.max_wait_us = clamp_int(c.max_wait_us, 0, 1'000'000);
+  if (c.queue_capacity == 0) c.queue_capacity = 1;
+  return c;
+}
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig c;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  c.threads = env_int("ADEPT_SERVE_THREADS", hw > 0 ? hw : 1);
+  c.max_batch = env_int("ADEPT_SERVE_MAX_BATCH", 16);
+  c.max_wait_us = env_int("ADEPT_SERVE_MAX_WAIT_US", 100);
+  return c.clamped();
+}
+
+Server::Server(const CompiledModel& model, ServerConfig config)
+    : model_(model), config_(config.clamped()) {
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<std::vector<float>> Server::submit(std::vector<float> input) {
+  if (input.size() != static_cast<std::size_t>(model_.input_numel())) {
+    throw std::invalid_argument(
+        "Server::submit: input has " + std::to_string(input.size()) +
+        " values, model expects " + std::to_string(model_.input_numel()));
+  }
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<std::vector<float>> future = req.promise.get_future();
+  {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return stopping_ || queue_.size() < config_.queue_capacity; });
+    if (stopping_) {
+      req.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("Server::submit: server is shut down")));
+      return future;
+    }
+    queue_.push_back(std::move(req));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+void Server::worker_loop() {
+  CompiledModel::Workspace ws;
+  std::vector<Request> batch;
+  std::vector<float> inputs, outputs;
+  const std::int64_t in_n = model_.input_numel();
+  const std::int64_t out_n = model_.output_numel();
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Micro-batching: drain what is already queued, then (unless stopping
+      // or full) linger up to max_wait_us past the first pop for stragglers.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.max_wait_us);
+      while (static_cast<int>(batch.size()) < config_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        if (stopping_ || config_.max_wait_us == 0) break;
+        if (not_empty_.wait_until(lock, deadline, [this] {
+              return stopping_ || !queue_.empty();
+            })) {
+          if (queue_.empty()) break;  // woke for shutdown
+          continue;
+        }
+        break;  // window elapsed
+      }
+    }
+    not_full_.notify_all();
+
+    const std::int64_t b = static_cast<std::int64_t>(batch.size());
+    inputs.resize(static_cast<std::size_t>(b * in_n));
+    outputs.resize(static_cast<std::size_t>(b * out_n));
+    for (std::int64_t i = 0; i < b; ++i) {
+      std::copy(batch[static_cast<std::size_t>(i)].input.begin(),
+                batch[static_cast<std::size_t>(i)].input.end(),
+                inputs.begin() + i * in_n);
+    }
+    std::exception_ptr err;
+    try {
+      model_.run(inputs.data(), b, outputs.data(), ws);
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    // Record stats BEFORE fulfilling the promises: a caller that observed a
+    // resolved future must see its request already counted in stats().
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard stats_lock(stats_mu_);
+      done_requests_ += static_cast<std::uint64_t>(b);
+      done_batches_ += 1;
+      for (const auto& req : batch) {
+        const double lat =
+            std::chrono::duration<double, std::micro>(now - req.enqueued).count();
+        if (latencies_us_.size() < kLatencyWindow) {
+          latencies_us_.push_back(lat);
+        } else {
+          latencies_us_[latency_cursor_] = lat;
+          latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+        }
+      }
+    }
+
+    if (err != nullptr) {
+      for (auto& req : batch) req.promise.set_exception(err);
+    } else {
+      for (std::int64_t i = 0; i < b; ++i) {
+        batch[static_cast<std::size_t>(i)].promise.set_value(std::vector<float>(
+            outputs.begin() + i * out_n, outputs.begin() + (i + 1) * out_n));
+      }
+    }
+  }
+}
+
+void Server::shutdown() {
+  // Claim the worker handles under the lock so concurrent shutdown callers
+  // (explicit call racing the destructor) never join the same thread twice:
+  // the second caller swaps out an empty vector and joins nothing.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  std::vector<double> lat;
+  {
+    std::lock_guard lock(stats_mu_);
+    s.requests = done_requests_;
+    s.batches = done_batches_;
+    lat = latencies_us_;
+  }
+  if (s.batches > 0) {
+    s.mean_batch_fill = static_cast<double>(s.requests) / static_cast<double>(s.batches);
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    auto at = [&](double q) {
+      const std::size_t idx = static_cast<std::size_t>(q * (lat.size() - 1));
+      return lat[idx];
+    };
+    s.latency_p50_us = at(0.5);
+    s.latency_p99_us = at(0.99);
+    s.latency_max_us = lat.back();
+  }
+  return s;
+}
+
+}  // namespace adept::runtime

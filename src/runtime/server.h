@@ -1,0 +1,119 @@
+// Concurrent micro-batching inference server over one CompiledModel.
+//
+// Architecture: producers call `submit()` with one sample and get a
+// std::future for its output row. Requests land in a bounded MPMC queue
+// (submit blocks while the queue is full — natural backpressure). Each
+// worker pops the oldest request, then coalesces whatever else is queued —
+// up to `max_batch` requests, waiting at most `max_wait_us` for stragglers —
+// into one [B, in] buffer and runs a single batched forward through the
+// compiled plan. Every step of the plan is per-sample bit-exact and the
+// backend kernels are bit-exact across thread counts, so a request's result
+// is identical whether it was served alone or inside any batch, by 1 or N
+// workers (asserted in tests/test_runtime.cpp).
+//
+// Knobs come from ServerConfig, defaulting to the ADEPT_SERVE_* environment
+// variables (see common/env.h): worker count, micro-batch ceiling, and the
+// batching window. Shutdown is graceful: queued requests are drained and
+// answered, then workers exit; submit() after shutdown fails the returned
+// future with std::runtime_error.
+//
+// Parallelism note: worker-pool parallelism composes with the backend
+// kernels' own parallel_for. For throughput serving with several workers,
+// set ADEPT_NUM_THREADS=1 (or keep threads low) so the inter-request pool
+// saturates the cores instead of each worker's kernels spawning their own
+// teams — results are bit-identical either way.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/compiled_model.h"
+
+namespace adept::runtime {
+
+struct ServerConfig {
+  int threads = 1;        // worker count
+  int max_batch = 16;     // micro-batch ceiling per forward
+  int max_wait_us = 100;  // stragglers window after the first pop
+  std::size_t queue_capacity = 1024;
+
+  // Reads ADEPT_SERVE_THREADS / ADEPT_SERVE_MAX_BATCH /
+  // ADEPT_SERVE_MAX_WAIT_US, clamping out-of-range values into the
+  // supported envelope (documented in common/env.h, tested in
+  // tests/test_runtime.cpp): threads [1, 256] (default: hardware
+  // concurrency), max_batch [1, 4096], max_wait_us [0, 1000000].
+  static ServerConfig from_env();
+
+  // The clamp from_env applies, exposed for callers building configs by
+  // hand from untrusted values.
+  ServerConfig clamped() const;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;   // completed requests
+  std::uint64_t batches = 0;    // forward passes executed
+  double mean_batch_fill = 0;   // requests / batches (micro-batch fill rate)
+  // Percentiles over the most recent ~64k completed requests (bounded
+  // ring, so a long-running server neither grows without bound nor pays
+  // an ever-larger sort in stats()).
+  double latency_p50_us = 0;    // submit -> result
+  double latency_p99_us = 0;
+  double latency_max_us = 0;    // max within the same window
+};
+
+class Server {
+ public:
+  // The server borrows `model`; it must outlive the Server.
+  Server(const CompiledModel& model, ServerConfig config = ServerConfig::from_env());
+  ~Server();  // graceful shutdown
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Enqueue one sample of input_numel() floats; the future resolves to its
+  // output_numel() result row. Blocks while the queue is at capacity.
+  // Throws std::invalid_argument on a size mismatch; a submit raced with
+  // shutdown resolves the future with std::runtime_error.
+  std::future<std::vector<float>> submit(std::vector<float> input);
+
+  // Drain queued requests, answer them, stop the workers. Idempotent; the
+  // destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::vector<float> input;
+    std::promise<std::vector<float>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+
+  const CompiledModel& model_;
+  ServerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  static constexpr std::size_t kLatencyWindow = 1 << 16;
+
+  mutable std::mutex stats_mu_;
+  std::uint64_t done_requests_ = 0;
+  std::uint64_t done_batches_ = 0;
+  std::vector<double> latencies_us_;  // bounded ring of recent samples
+  std::size_t latency_cursor_ = 0;    // overwrite position once full
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adept::runtime

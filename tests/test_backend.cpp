@@ -4,12 +4,14 @@
 // ops ported onto the backend.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <complex>
 #include <vector>
 
 #include "autograd/gradcheck.h"
 #include "autograd/ops.h"
+#include "backend/dispatch.h"
 #include "backend/kernels.h"
 #include "backend/parallel.h"
 #include "common/rng.h"
@@ -396,6 +398,53 @@ TEST(Rcgemm, MatchesReferenceWithPhaseEpilogue) {
 }
 
 // ---- batched gemm ---------------------------------------------------------
+
+TEST(GemmPacked, BitExactVsPlainGemmAllAlphasAndShapes) {
+  // The pre-packed serving path must be bit-identical to gemm() — including
+  // the alpha != 1 branch (pack_a scratch path) and Trans::T packs — at
+  // every (m, n, k) tile-tail position.
+  Rng rng(77);
+  for (const auto& [m, n, k] : std::vector<std::array<std::int64_t, 3>>{
+           {1, 10, 150}, {16, 6, 150}, {64, 6, 25}, {7, 17, 33}, {6, 8, 16}}) {
+    for (const Trans tb : {Trans::N, Trans::T}) {
+      const std::int64_t ldb = tb == Trans::N ? n : k;
+      std::vector<float> a(static_cast<std::size_t>(m * k)),
+          b(static_cast<std::size_t>(n * k));
+      for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      const be::PackedGemmB pb = be::pack_gemm_b(tb, k, n, b.data(), ldb);
+      for (const float alpha : {1.0f, 2.5f, -0.75f}) {
+        std::vector<float> ref(static_cast<std::size_t>(m * n)), got(ref.size());
+        be::gemm(Trans::N, tb, m, n, k, alpha, a.data(), k, b.data(), ldb, 0.0f,
+                 ref.data(), n);
+        be::gemm_packed(m, n, k, alpha, a.data(), k, tb, b.data(), ldb, pb, 0.0f,
+                        got.data(), n);
+        ASSERT_EQ(ref, got) << "m=" << m << " n=" << n << " k=" << k
+                            << " alpha=" << alpha
+                            << " tb=" << (tb == Trans::N ? "N" : "T");
+      }
+    }
+  }
+}
+
+TEST(GemmPacked, FallsBackWhenDispatchLevelChanges) {
+  // Panels packed at one SIMD level must not be consumed at another: the
+  // wrapper falls back to the plain gemm using the raw operand.
+  Rng rng(78);
+  const std::int64_t m = 9, n = 11, k = 40;
+  std::vector<float> a(static_cast<std::size_t>(m * k)),
+      b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const be::PackedGemmB pb = be::pack_gemm_b(Trans::N, k, n, b.data(), n);
+  be::SimdScope scope(be::SimdLevel::scalar);
+  std::vector<float> ref(static_cast<std::size_t>(m * n)), got(ref.size());
+  be::gemm(Trans::N, Trans::N, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+           ref.data(), n);
+  be::gemm_packed(m, n, k, 1.0f, a.data(), k, Trans::N, b.data(), n, pb, 0.0f,
+                  got.data(), n);
+  ASSERT_EQ(ref, got);
+}
 
 TEST(GemmBatched, MatchesPerSampleLoop) {
   Rng rng(34);

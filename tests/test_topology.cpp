@@ -92,6 +92,142 @@ TEST(Topology, DeserializeRejectsGarbage) {
   EXPECT_THROW(ph::PtcTopology::deserialize("not a topology"), std::invalid_argument);
 }
 
+// Expects deserialize to throw invalid_argument whose message mentions every
+// needle (offending token / block index / offset context).
+void expect_deserialize_error(const std::string& text,
+                              const std::vector<std::string>& needles) {
+  try {
+    ph::PtcTopology::deserialize(text);
+    FAIL() << "expected deserialize failure for:\n" << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const auto& needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "missing \"" << needle << "\" in: " << msg;
+    }
+  }
+}
+
+TEST(Topology, DeserializeTruncatedInputNamesFieldAndOffset) {
+  // Cut a valid serialization mid-way: the error names the field and side.
+  Rng rng(3);
+  const auto topo = ph::random_topology(8, 3, rng, 0.5);
+  const std::string text = topo.serialize();
+  // (Any mid-stream cut must fail cleanly; the exact field depends on where
+  // the cut lands, but the message always carries block context.)
+  expect_deserialize_error(text.substr(0, text.size() / 2), {"block"});
+  expect_deserialize_error("ptc", {"truncated input", "header K"});
+  expect_deserialize_error("ptc 4 t\n", {"truncated input", "U block count"});
+  expect_deserialize_error("ptc 4 t\n1\n0 2", {"truncated input", "U block 0"});
+}
+
+TEST(Topology, DeserializeBadMaskQuotesToken) {
+  // Mask token length disagrees with its declared size.
+  expect_deserialize_error("ptc 4 t\n1\n0 2 101 0,1,2,3\n0\n",
+                           {"bad mask", "U block 0", "\"101\""});
+  // Mask characters outside {0,1}.
+  expect_deserialize_error("ptc 4 t\n1\n0 2 1x 0,1,2,3\n0\n",
+                           {"bad mask", "U block 0", "not 0/1"});
+}
+
+TEST(Topology, DeserializeKMismatchReportsExpectedSlots) {
+  // K=4 parity 0 expects 2 coupler slots; header claims 1.
+  expect_deserialize_error("ptc 4 t\n1\n0 1 1 0,1,2,3\n0\n",
+                           {"K mismatch", "U block 0", "expects 2"});
+  // Permutation entry count disagrees with K.
+  expect_deserialize_error("ptc 4 t\n1\n0 2 10 0,1,2\n0\n",
+                           {"bad perm", "U block 0", "3 entries", "K is 4"});
+}
+
+TEST(Topology, DeserializeBadPermTokens) {
+  expect_deserialize_error("ptc 4 t\n1\n0 2 10 0,1,a,3\n0\n",
+                           {"bad perm", "\"a\"", "not an integer"});
+  // Valid integers but not a bijection.
+  expect_deserialize_error("ptc 4 t\n1\n0 2 10 0,0,2,3\n0\n",
+                           {"bad perm", "bijection"});
+  // V-side errors carry the V label (U parses fine here).
+  expect_deserialize_error("ptc 4 t\n0\n1\n0 2 10 0,1,2\n",
+                           {"bad perm", "V block 0"});
+}
+
+TEST(Topology, DeserializeImplausibleBlockCount) {
+  // A negative count wraps to SIZE_MAX on unsigned extraction; it must fail
+  // with the contextualized error, not std::length_error from vector.
+  expect_deserialize_error("ptc 4 t\n-1\n", {"implausible U block count"});
+  expect_deserialize_error("ptc 4 t\n99999999\n", {"implausible U block count"});
+  expect_deserialize_error("ptc 4 t\n0\n77777777\n",
+                           {"implausible V block count"});
+}
+
+TEST(Topology, DeserializeBadParityAndHeader) {
+  expect_deserialize_error("ptc 4 t\n1\n3 2 10 0,1,2,3\n0\n",
+                           {"bad parity", "U block 0", "3"});
+  expect_deserialize_error("xtc 4 t\n0\n0\n", {"bad magic", "\"xtc\""});
+  expect_deserialize_error("ptc 5 t\n0\n0\n", {"bad header K 5"});
+}
+
+TEST(Topology, BinaryRoundTripBitExact) {
+  Rng rng(7);
+  for (int k : {4, 8, 16}) {
+    auto topo = ph::random_topology(k, 4, rng, 0.6);
+    topo.name = "bin-" + std::to_string(k);
+    std::string bytes;
+    topo.serialize_binary(bytes);
+    adept::binio::Reader r(bytes, 0, "test");
+    const auto back = ph::PtcTopology::deserialize_binary(r);
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_EQ(back.k, topo.k);
+    EXPECT_EQ(back.name, topo.name);
+    ASSERT_EQ(back.u_blocks.size(), topo.u_blocks.size());
+    ASSERT_EQ(back.v_blocks.size(), topo.v_blocks.size());
+    for (std::size_t i = 0; i < topo.u_blocks.size(); ++i) {
+      EXPECT_EQ(back.u_blocks[i].start, topo.u_blocks[i].start);
+      EXPECT_EQ(back.u_blocks[i].dc_mask, topo.u_blocks[i].dc_mask);
+      EXPECT_TRUE(back.u_blocks[i].perm == topo.u_blocks[i].perm);
+    }
+    // Text serialization of the round-tripped topology is identical.
+    EXPECT_EQ(back.serialize(), topo.serialize());
+  }
+}
+
+TEST(Topology, BinaryDeserializeErrors) {
+  Rng rng(9);
+  auto topo = ph::random_topology(4, 2, rng, 0.5);
+  std::string bytes;
+  topo.serialize_binary(bytes);
+  {  // truncation mid-stream names the offset
+    const std::string cut = bytes.substr(0, bytes.size() / 2);
+    adept::binio::Reader r(cut, 0, "test");
+    try {
+      ph::PtcTopology::deserialize_binary(r);
+      FAIL() << "expected truncation error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated input at offset"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {  // bad tag
+    std::string bad = bytes;
+    bad[0] ^= 0x1;
+    adept::binio::Reader r(bad, 0, "test");
+    EXPECT_THROW(ph::PtcTopology::deserialize_binary(r), std::runtime_error);
+  }
+}
+
+TEST(Topology, PdkBinaryRoundTrip) {
+  for (const auto& pdk : {ph::Pdk::amf(), ph::Pdk::aim()}) {
+    std::string bytes;
+    pdk.serialize_binary(bytes);
+    adept::binio::Reader r(bytes, 0, "test");
+    const auto back = ph::Pdk::deserialize_binary(r);
+    EXPECT_EQ(back.name, pdk.name);
+    EXPECT_EQ(back.ps_area_um2, pdk.ps_area_um2);
+    EXPECT_EQ(back.dc_area_um2, pdk.dc_area_um2);
+    EXPECT_EQ(back.cr_area_um2, pdk.cr_area_um2);
+  }
+}
+
 TEST(Topology, InterleavedParity) {
   EXPECT_EQ(ph::interleaved_parity(0), 0);
   EXPECT_EQ(ph::interleaved_parity(1), 1);
