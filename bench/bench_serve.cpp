@@ -1,16 +1,30 @@
 // Serving-path benchmark: tape-based eval vs the compiled tape-free engine,
-// and steady-state server throughput under concurrent micro-batching.
+// the int8 quantized plan, and steady-state server throughput under
+// concurrent micro-batching.
 //
 //   offline single-stream   batch-1 latency of model.forward (eval mode,
 //                           NoGradGuard, cached eval weights) vs
-//                           CompiledModel::run with a reused workspace —
-//                           the ISSUE acceptance bar is compiled >= 2x.
+//                           CompiledModel::run (fp32 planned) vs the int8
+//                           quantized plan — acceptance bars: compiled
+//                           faster than tape, quantized >= 1.5x compiled.
+//                           (At this model size the forward is gemm-bound,
+//                           so compiled-vs-tape lands ~1.3-1.4x — the tape's
+//                           per-op allocations amortize; the old 2x figure
+//                           was the PR-5-era tiny model, where they did
+//                           not.)
+//   plan footprint          planned vs unplanned workspace bytes at the
+//                           serving batch (the liveness planner's memory
+//                           win) plus process peak RSS.
+//   accuracy                top-1 on a held-out synthetic eval set, fp32 vs
+//                           int8, after a short training run so top-1 is
+//                           meaningful (quant_top1_delta = fp32 - int8).
 //   steady-state serving    QPS, micro-batch fill rate, and p50/p99 request
 //                           latency at 1/4/8 worker threads for a fixed
-//                           request pile.
+//                           request pile; one extra record serves the
+//                           quantized plan at 4 threads.
 //
 // `--json [path]` emits BENCH_serve.json for the perf trajectory (schema in
-// bench/README.md); without it a human-readable table prints. Scale knobs:
+// docs/benchmarks.md). Scale knobs:
 //   ADEPT_BENCH_SERVE_N   requests per serving measurement (default 384,
 //                         full scale 4096)
 #include <chrono>
@@ -19,10 +33,14 @@
 #include <iostream>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "backend/parallel.h"
 #include "bench_common.h"
 #include "common/table.h"
+#include "data/synthetic.h"
 #include "nn/models.h"
+#include "nn/train.h"
 #include "photonics/builders.h"
 #include "runtime/compiled_model.h"
 #include "runtime/server.h"
@@ -32,11 +50,13 @@ namespace {
 namespace ph = adept::photonics;
 namespace nn = adept::nn;
 namespace rt = adept::runtime;
+namespace data = adept::data;
 using adept::bench::time_best;
 
-constexpr int kImage = 12;
+constexpr int kImage = 24;
 constexpr int kClasses = 10;
-constexpr int kWidth = 6;
+constexpr int kWidth = 32;
+constexpr int kServeBatch = 16;  // micro-batch ceiling used below
 
 nn::OnnModel make_deployable_model() {
   // The deployable-core scenario: the proxy CNN with every matmul mapped
@@ -53,13 +73,31 @@ std::vector<float> random_sample(adept::Rng& rng) {
   return x;
 }
 
+// Process peak RSS (ru_maxrss is kilobytes on Linux). Monotonic over the
+// process lifetime, so it reflects the high-water mark of everything run so
+// far — the deterministic planned-vs-unplanned delta is workspace_bytes.
+double peak_rss_bytes() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) * 1024.0;
+}
+
 struct SingleStream {
   double tape_ms = 0;
   double compiled_ms = 0;
+  double quant_ms = 0;
 };
 
 SingleStream measure_single_stream(nn::OnnModel& model,
-                                   const rt::CompiledModel& cm) {
+                                   const rt::CompiledModel& cm,
+                                   const rt::CompiledModel& cmq) {
+  // The single-stream latencies feed the compiled-vs-tape and int8-vs-fp32
+  // speedup gates, so they take the best of many SMALL sampling windows
+  // (25 x ~4 ms) instead of time_best's default 5 x 20 ms: on a shared
+  // machine a short window has a far better chance of running preemption-
+  // free, and the minimum over many of them converges on the true latency.
+  constexpr int kReps = 25;
+  constexpr double kSample = 0.004;
   adept::Rng rng(5);
   const std::vector<float> x = random_sample(rng);
   SingleStream r;
@@ -68,15 +106,41 @@ SingleStream measure_single_stream(nn::OnnModel& model,
     model.set_training(false);
     adept::ag::Tensor xt =
         adept::ag::make_tensor(x, {1, 1, kImage, kImage}, false);
-    r.tape_ms = time_best([&] { (void)model.net->forward(xt); }) * 1e3;
+    r.tape_ms =
+        time_best([&] { (void)model.net->forward(xt); }, kReps, kSample) * 1e3;
   }
   {
     rt::CompiledModel::Workspace ws;
     std::vector<float> out(static_cast<std::size_t>(cm.output_numel()));
     r.compiled_ms =
-        time_best([&] { cm.run(x.data(), 1, out.data(), ws); }) * 1e3;
+        time_best([&] { cm.run(x.data(), 1, out.data(), ws); }, kReps, kSample) *
+        1e3;
+  }
+  {
+    rt::CompiledModel::Workspace ws;
+    std::vector<float> out(static_cast<std::size_t>(cmq.output_numel()));
+    r.quant_ms =
+        time_best([&] { cmq.run(x.data(), 1, out.data(), ws); }, kReps, kSample) *
+        1e3;
   }
   return r;
+}
+
+// Top-1 accuracy of a compiled plan over the eval set.
+double compiled_top1(const rt::CompiledModel& cm,
+                     const data::SyntheticDataset& set) {
+  rt::CompiledModel::Workspace ws;
+  std::vector<float> out(static_cast<std::size_t>(cm.output_numel()));
+  int hits = 0;
+  for (int i = 0; i < set.size(); ++i) {
+    cm.run(set.image(i).data(), 1, out.data(), ws);
+    int arg = 0;
+    for (int j = 1; j < static_cast<int>(out.size()); ++j) {
+      if (out[static_cast<std::size_t>(j)] > out[static_cast<std::size_t>(arg)]) arg = j;
+    }
+    if (arg == set.label(i)) ++hits;
+  }
+  return static_cast<double>(hits) / set.size();
 }
 
 struct ServeResult {
@@ -90,7 +154,7 @@ struct ServeResult {
 ServeResult measure_serving(const rt::CompiledModel& cm, int threads, int requests) {
   rt::ServerConfig cfg;
   cfg.threads = threads;
-  cfg.max_batch = 16;
+  cfg.max_batch = kServeBatch;
   cfg.max_wait_us = 200;
   cfg.queue_capacity = 512;
   adept::Rng rng(9);
@@ -134,9 +198,37 @@ int main(int argc, char** argv) {
       adept::env_int("ADEPT_BENCH_SERVE_N", adept::bench_full_scale() ? 4096 : 384);
 
   nn::OnnModel model = make_deployable_model();
-  rt::CompiledModel cm = rt::CompiledModel::freeze(model, {1, kImage, kImage});
-  const SingleStream ss = measure_single_stream(model, cm);
+
+  // Short supervised run so the accuracy comparison below measures a model
+  // that actually classifies (top-1 deltas on random weights are noise).
+  data::DatasetSpec spec = data::DatasetSpec::mnist_like();
+  spec.height = spec.width = kImage;
+  spec.classes = kClasses;
+  data::SyntheticDataset train(spec, 256, 1), eval_set(spec, 128, 2);
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 32;
+  nn::train_classifier(model, train, eval_set, tc);
+
+  rt::FreezeOptions fp32_opts;                 // planned fp32 (the default)
+  rt::FreezeOptions ref_opts;                  // unplanned reference chain
+  ref_opts.optimize = false;
+  rt::FreezeOptions quant_opts;                // planned + int8
+  quant_opts.quantize_int8 = true;
+  rt::CompiledModel cm = rt::CompiledModel::freeze(model, {1, kImage, kImage}, fp32_opts);
+  rt::CompiledModel cm_ref = rt::CompiledModel::freeze(model, {1, kImage, kImage}, ref_opts);
+  rt::CompiledModel cmq = rt::CompiledModel::freeze(model, {1, kImage, kImage}, quant_opts);
+
+  const SingleStream ss = measure_single_stream(model, cm, cmq);
   const double speedup = ss.tape_ms / ss.compiled_ms;
+  const double quant_speedup = ss.compiled_ms / ss.quant_ms;
+
+  const double ws_planned = static_cast<double>(cm.workspace_bytes(kServeBatch));
+  const double ws_unplanned = static_cast<double>(cm_ref.workspace_bytes(kServeBatch));
+
+  const double top1_fp32 = compiled_top1(cm, eval_set);
+  const double top1_int8 = compiled_top1(cmq, eval_set);
+  const double top1_delta = top1_fp32 - top1_int8;
 
   std::string json_path;
   if (adept::bench::parse_json_flag(argc, argv, "BENCH_serve.json", &json_path)) {
@@ -145,10 +237,31 @@ int main(int argc, char** argv) {
                 {{"tape_ms", ss.tape_ms},
                  {"compiled_ms", ss.compiled_ms},
                  {"speedup", speedup},
+                 {"quant_ms", ss.quant_ms},
+                 {"quant_speedup", quant_speedup},
                  {"wall_s", ss.compiled_ms * 1e-3}}});
+    report.add({"plan",
+                {{"workspace_planned_bytes", ws_planned},
+                 {"workspace_unplanned_bytes", ws_unplanned},
+                 {"workspace_saving", 1.0 - ws_planned / ws_unplanned},
+                 {"peak_rss_bytes", peak_rss_bytes()}}});
+    report.add({"accuracy",
+                {{"top1_fp32", top1_fp32},
+                 {"top1_int8", top1_int8},
+                 {"quant_top1_delta", top1_delta},
+                 {"eval_n", static_cast<double>(eval_set.size())}}});
     for (int threads : {1, 4, 8}) {
       const ServeResult r = measure_serving(cm, threads, requests);
       report.add({"serve_t" + std::to_string(threads),
+                  {{"qps", r.qps},
+                   {"fill", r.fill},
+                   {"p50_us", r.p50_us},
+                   {"p99_us", r.p99_us},
+                   {"requests", static_cast<double>(requests)}}});
+    }
+    {
+      const ServeResult r = measure_serving(cmq, 4, requests);
+      report.add({"serve_quant_t4",
                   {{"qps", r.qps},
                    {"fill", r.fill},
                    {"p50_us", r.p50_us},
@@ -159,13 +272,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
-    std::printf("wrote %s (single-stream speedup %.2fx)\n", json_path.c_str(), speedup);
+    std::printf("wrote %s (single-stream %.2fx, quant %.2fx, top-1 delta %.3f)\n",
+                json_path.c_str(), speedup, quant_speedup, top1_delta);
     return 0;
   }
 
   std::printf("single-stream batch-1 latency (proxy CNN, K=8 butterfly PTC):\n");
   std::printf("  tape eval     %8.3f ms\n", ss.tape_ms);
-  std::printf("  compiled      %8.3f ms   (%.2fx)\n\n", ss.compiled_ms, speedup);
+  std::printf("  compiled      %8.3f ms   (%.2fx)\n", ss.compiled_ms, speedup);
+  std::printf("  int8 quant    %8.3f ms   (%.2fx vs compiled)\n\n", ss.quant_ms,
+              quant_speedup);
+  std::printf("workspace @batch %d: planned %.0f bytes, unplanned %.0f bytes "
+              "(%.0f%% saved); peak RSS %.1f MB\n",
+              kServeBatch, ws_planned, ws_unplanned,
+              100.0 * (1.0 - ws_planned / ws_unplanned),
+              peak_rss_bytes() / (1024.0 * 1024.0));
+  std::printf("top-1 on %d eval samples: fp32 %.3f, int8 %.3f (delta %.3f)\n\n",
+              eval_set.size(), top1_fp32, top1_int8, top1_delta);
 
   adept::Table table({"workers", "QPS", "fill", "p50 [us]", "p99 [us]"});
   for (int threads : {1, 4, 8}) {
@@ -174,6 +297,10 @@ int main(int argc, char** argv) {
                    adept::Table::fmt(r.fill, 2), adept::Table::fmt(r.p50_us, 0),
                    adept::Table::fmt(r.p99_us, 0)});
   }
+  const ServeResult rq = measure_serving(cmq, 4, requests);
+  table.add_row({"4 (int8)", adept::Table::fmt(rq.qps, 0),
+                 adept::Table::fmt(rq.fill, 2), adept::Table::fmt(rq.p50_us, 0),
+                 adept::Table::fmt(rq.p99_us, 0)});
   table.print(std::cout);
   return 0;
 }

@@ -10,11 +10,16 @@
 //      backend kernel calls (bit-exact vs the tape in eval mode).
 //   5. Serve a batch of queries through the micro-batching Server and
 //      compare its answers to the tape path.
+//   6. Re-freeze with int8 quantization (FreezeOptions::quantize_int8, the
+//      knob ADEPT_SERVE_QUANT=1 sets for a Server built from env) and show
+//      the worst-case output delta vs the fp32 plan.
 //
 // Build & run:  ./build/example_serve_ptc [checkpoint.bin]
 //   With an argument, steps 1-3 are replaced by loading that checkpoint.
 //   Serving knobs: ADEPT_SERVE_THREADS / ADEPT_SERVE_MAX_BATCH /
-//   ADEPT_SERVE_MAX_WAIT_US (see src/common/env.h).
+//   ADEPT_SERVE_MAX_WAIT_US / ADEPT_SERVE_QUANT (see src/common/env.h).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -148,5 +153,30 @@ int main(int argc, char** argv) {
   std::printf("served vs tape-eval mismatches: %d (should be 0 — bit-exact)\n",
               mismatches);
   server.shutdown();
+
+  std::printf("\n=== 6. Opt-in int8 quantized serving ===\n");
+  // ADEPT_SERVE_QUANT=1 makes Server(model_ref) do this automatically; here
+  // the example freezes the quantized plan explicitly so both plans can be
+  // compared side by side. int8 is an accuracy trade: outputs are close,
+  // not bit-exact (the fp32 plan above IS bit-exact).
+  rt::FreezeOptions qopt;
+  qopt.quantize_int8 = true;
+  rt::CompiledModel quantized =
+      rt::CompiledModel::freeze(model, {1, kImage, kImage}, qopt);
+  rt::CompiledModel::Workspace qws, fws;
+  std::vector<float> qout(static_cast<std::size_t>(quantized.output_numel()));
+  std::vector<float> fout(static_cast<std::size_t>(compiled.output_numel()));
+  double max_delta = 0.0;
+  for (int i = 0; i < n_queries; ++i) {
+    const auto& q = queries[static_cast<std::size_t>(i)];
+    quantized.run(q.data(), 1, qout.data(), qws);
+    compiled.run(q.data(), 1, fout.data(), fws);
+    for (std::size_t j = 0; j < qout.size(); ++j) {
+      max_delta = std::max(max_delta,
+                           static_cast<double>(std::fabs(qout[j] - fout[j])));
+    }
+  }
+  std::printf("int8 vs fp32 worst output delta over %d queries: %.4f\n",
+              n_queries, max_delta);
   return mismatches == 0 ? 0 : 1;
 }

@@ -34,9 +34,17 @@ bool cpu_supports(SimdLevel level) {
     case SimdLevel::avx2:
       return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
     case SimdLevel::avx512:
+      // bw: the int8 serving microkernel widens/madds on full zmm vectors.
+      // vnni is required only when the TU was compiled to emit it (the
+      // CPUID requirement must match the instructions actually present).
       return __builtin_cpu_supports("avx512f") &&
              __builtin_cpu_supports("avx512vl") &&
-             __builtin_cpu_supports("avx512dq");
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw")
+#ifdef ADEPT_AVX512_TU_VNNI
+             && __builtin_cpu_supports("avx512vnni")
+#endif
+          ;
   }
   return false;
 #else

@@ -101,6 +101,26 @@ struct KernelTable {
                           float alpha, const float* a, std::int64_t lda,
                           const float* packed_b, float beta, float* c,
                           std::int64_t ldc);
+  // int8 quantized serving path (runtime/plan.h): B packed into interleaved
+  // k-pair panels, A streamed row-major, exact int32 accumulation — results
+  // are bit-identical to the scalar reference at every level (integer math
+  // has no contraction drift). Buffer for gemm_pack_b_s8 must hold
+  // gemm_s8_packed_b_bytes(k, n) bytes.
+  std::int64_t (*gemm_s8_packed_b_bytes)(std::int64_t k, std::int64_t n);
+  void (*gemm_pack_b_s8)(std::int64_t k, std::int64_t n, const std::int8_t* b,
+                         std::int64_t ldb, std::int8_t* out);
+  void (*gemm_s8s8s32_packed)(std::int64_t m, std::int64_t n, std::int64_t k,
+                              const std::int8_t* a, std::int64_t lda,
+                              const std::int8_t* packed_b, std::int32_t* c,
+                              std::int64_t ldc);
+  // Activation quantization helpers, the per-request hot path of quantized
+  // serving. Exact at every level: max is order-independent, and the vector
+  // float->int32 convert rounds to nearest-even exactly like std::lrintf
+  // under the default rounding mode — so the quantized image (and therefore
+  // the quantization *decision*) never depends on the dispatch level.
+  float (*absmax_f32)(std::size_t n, const float* x);
+  void (*quantize_s8)(std::size_t n, const float* x, float inv_scale,
+                      std::int8_t* out);
 };
 
 // Active table for the current dispatch level; nullptr means scalar.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -265,6 +266,76 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     return;
   }
   gemm(Trans::N, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm_s8s8s32(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                  std::int64_t ldb, std::int32_t* c, std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+  // Scalar reference: ikj with int32 accumulation in C. Integer adds are
+  // associative, so any tiling/threading of the same products matches this
+  // bit for bit — the parity anchor for the SIMD drivers.
+  parallel_for(m, kRowBlock, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      std::int32_t* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0;
+      const std::int8_t* arow = a + i * lda;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const std::int32_t av = arow[kk];
+        if (av == 0) continue;
+        const std::int8_t* brow = b + kk * ldb;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+PackedGemmBS8 pack_gemm_b_s8(std::int64_t k, std::int64_t n,
+                             const std::int8_t* b, std::int64_t ldb) {
+  PackedGemmBS8 pb;
+  pb.k = k;
+  pb.n = n;
+  const KernelTable* t = active_kernels();
+  if (t == nullptr || k <= 0 || n <= 0) return pb;  // scalar: no packed path
+  pb.level = static_cast<int>(simd_level());
+  pb.panels.resize(static_cast<std::size_t>(t->gemm_s8_packed_b_bytes(k, n)));
+  t->gemm_pack_b_s8(k, n, b, ldb, pb.panels.data());
+  return pb;
+}
+
+void gemm_s8_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const std::int8_t* a, std::int64_t lda,
+                    const std::int8_t* b, std::int64_t ldb,
+                    const PackedGemmBS8& pb, std::int32_t* c,
+                    std::int64_t ldc) {
+  const KernelTable* t = active_kernels();
+  if (t != nullptr && m > 0 && n > 0 && k > 0 && !pb.panels.empty() &&
+      pb.level == static_cast<int>(simd_level()) && pb.k == k && pb.n == n) {
+    t->gemm_s8s8s32_packed(m, n, k, a, lda, pb.panels.data(), c, ldc);
+    return;
+  }
+  gemm_s8s8s32(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+float absmax(std::size_t n, const float* x) {
+  const KernelTable* t = active_kernels();
+  if (t != nullptr) return t->absmax_f32(n, x);
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+void quantize_s8(std::size_t n, const float* x, float inv_scale,
+                 std::int8_t* out) {
+  const KernelTable* t = active_kernels();
+  if (t != nullptr) {
+    t->quantize_s8(n, x, inv_scale, out);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const long q = std::lrintf(x[i] * inv_scale);
+    out[i] = static_cast<std::int8_t>(std::min<long>(127, std::max<long>(-127, q)));
+  }
 }
 
 void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
@@ -636,21 +707,33 @@ void log_softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
   });
 }
 
-void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
-            std::int64_t w, std::int64_t kh, std::int64_t kw,
-            std::int64_t stride, std::int64_t pad, float* out) {
+// Shared element-type-generic body for im2col / im2col_s8: patch gathering
+// is pure data movement, so the int8 serving variant is the same routine
+// over 1-byte elements (a quarter of the scratch traffic).
+template <typename T>
+void im2col_impl(const T* x, std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w, std::int64_t kh, std::int64_t kw,
+                 std::int64_t stride, std::int64_t pad, T* out) {
   const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
   const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
   const std::int64_t cols = c * kh * kw;
   const std::int64_t rows = n * oh * ow;
+  // Fixed-size copy width for the unclipped fast path below. A
+  // variable-length memcpy of a handful of elements is a libc call per tap
+  // group (tens of thousands per conv); a fixed-size one compiles to one or
+  // two plain moves.
+  constexpr std::int64_t kFix = sizeof(T) == 1 ? 16 : 32;
+  const std::int64_t row_bytes = cols * static_cast<std::int64_t>(sizeof(T));
+  const std::int64_t x_bytes =
+      n * c * h * w * static_cast<std::int64_t>(sizeof(T));
   // One output row per patch; rows are independent, so parallelize there.
   // Zero whole chunks up front (one large fill beats a per-row fill by ~3x),
   // then gather only the in-image taps.
   parallel_for(rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(cols, 1)),
                [=](std::int64_t r0, std::int64_t r1) {
-                 std::fill(out + r0 * cols, out + r1 * cols, 0.0f);
+                 std::fill(out + r0 * cols, out + r1 * cols, T{0});
                  for (std::int64_t row = r0; row < r1; ++row) {
-                   float* orow = out + row * cols;
+                   T* orow = out + row * cols;
                    const std::int64_t xo = row % ow;
                    const std::int64_t yo = (row / ow) % oh;
                    const std::int64_t ni = row / (ow * oh);
@@ -662,18 +745,57 @@ void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
                    const std::int64_t kx_hi = std::min(kw, w - x0);
                    const std::int64_t ky_lo = std::max<std::int64_t>(0, -y0);
                    const std::int64_t ky_hi = std::min(kh, h - y0);
+                   if (kx_hi <= kx_lo) continue;  // window fully clipped
+                   // Unclipped rows (always, for pad == 0) take the
+                   // fixed-size copy: the extra bytes past kw spill into tap
+                   // groups this same row writes LATER in ascending order,
+                   // so they are overwritten with their real values — valid
+                   // only because no group in the row is clip-skipped. Dst
+                   // and src bounds checks keep the spill inside this output
+                   // row and inside the input tensor.
+                   const bool interior = kx_lo == 0 && kx_hi == kw &&
+                                         ky_lo == 0 && ky_hi == kh &&
+                                         kw * static_cast<std::int64_t>(
+                                                  sizeof(T)) <= kFix;
                    for (std::int64_t ci = 0; ci < c; ++ci) {
-                     const float* xplane = x + (ni * c + ci) * h * w;
+                     const T* xplane = x + (ni * c + ci) * h * w;
                      for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
-                       const float* xrow = xplane + (y0 + ky) * w + x0;
-                       float* opatch = orow + (ci * kh + ky) * kw;
-                       for (std::int64_t kx = kx_lo; kx < kx_hi; ++kx) {
-                         opatch[kx] = xrow[kx];
+                       const T* xrow = xplane + (y0 + ky) * w + x0;
+                       T* opatch = orow + (ci * kh + ky) * kw;
+                       if (interior) {
+                         const std::int64_t dst_off =
+                             ((ci * kh + ky) * kw) *
+                             static_cast<std::int64_t>(sizeof(T));
+                         const std::int64_t src_off =
+                             ((ni * c + ci) * h * w + (y0 + ky) * w + x0) *
+                             static_cast<std::int64_t>(sizeof(T));
+                         if (dst_off + kFix <= row_bytes &&
+                             src_off + kFix <= x_bytes) {
+                           std::memcpy(opatch, xrow,
+                                       static_cast<std::size_t>(kFix));
+                           continue;
+                         }
                        }
+                       std::memcpy(opatch + kx_lo, xrow + kx_lo,
+                                   static_cast<std::size_t>(kx_hi - kx_lo) *
+                                       sizeof(T));
                      }
                    }
                  }
                });
+}
+
+void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w, std::int64_t kh, std::int64_t kw,
+            std::int64_t stride, std::int64_t pad, float* out) {
+  im2col_impl(x, n, c, h, w, kh, kw, stride, pad, out);
+}
+
+void im2col_s8(const std::int8_t* x, std::int64_t n, std::int64_t c,
+               std::int64_t h, std::int64_t w, std::int64_t kh,
+               std::int64_t kw, std::int64_t stride, std::int64_t pad,
+               std::int8_t* out) {
+  im2col_impl(x, n, c, h, w, kh, kw, stride, pad, out);
 }
 
 void col2im(const float* cols_data, std::int64_t n, std::int64_t c,

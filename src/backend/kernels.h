@@ -66,6 +66,55 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  std::int64_t ldb, const PackedGemmB& pb, float beta, float* c,
                  std::int64_t ldc);
 
+// ---- int8 quantized serving path ------------------------------------------
+//
+// The quantized CompiledModel execution mode (runtime/plan.h) runs its gemms
+// on int8 operands with exact int32 accumulation and dequantizes on store.
+// Because integer addition is associative, every dispatch level, thread
+// count, and tiling produces IDENTICAL bits — tests ASSERT_EQ the int32
+// output across scalar/avx2/avx512 (no float-style tolerance tiers).
+
+// C = A @ B with A [m, k] row-major int8, B [k, n] row-major int8, C [m, n]
+// int32 (overwritten, no beta). Safe against int32 overflow for any
+// k <= 2^17 with s8-range operands (|a*b| <= 127*127).
+void gemm_s8s8s32(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                  std::int64_t ldb, std::int32_t* c, std::int64_t ldc);
+
+// Pre-packed right operand for the int8 gemm, the quantized analogue of
+// PackedGemmB: freeze-time weights are packed once into the active level's
+// interleaved k-pair panel layout (the _mm256_madd_epi16 operand order).
+// Scalar dispatch has no packed layout (level -1, empty panels); the packed
+// driver then falls back to gemm_s8s8s32 on the raw `b` — identical bits
+// either way.
+struct PackedGemmBS8 {
+  std::int64_t k = 0, n = 0;
+  int level = -1;                    // SimdLevel the panels target (-1 = none)
+  std::vector<std::int8_t> panels;   // [tile][k-pair][16 cols x 2 ks], zero-padded
+};
+
+PackedGemmBS8 pack_gemm_b_s8(std::int64_t k, std::int64_t n,
+                             const std::int8_t* b, std::int64_t ldb);
+
+// gemm_s8s8s32 with op(B) pre-packed; `b`/`ldb` describe the unpacked
+// operand for the fallback path (scalar level, or level changed since pack).
+void gemm_s8_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const std::int8_t* a, std::int64_t lda,
+                    const std::int8_t* b, std::int64_t ldb,
+                    const PackedGemmBS8& pb, std::int32_t* c, std::int64_t ldc);
+
+// max |x[i]| over n floats (0 for n == 0). Dispatched, but bit-exact at
+// every level — max is order-independent — so the quantization *decision*
+// never depends on the SIMD level.
+float absmax(std::size_t n, const float* x);
+
+// out[i] = clamp(round-to-nearest-even(x[i] * inv_scale), -127, 127).
+// Dispatched; exact at every level because the vector float->int32 convert
+// rounds to nearest-even exactly like std::lrintf under the default
+// rounding mode (asserted across levels in tests/test_plan.cpp).
+void quantize_s8(std::size_t n, const float* x, float inv_scale,
+                 std::int8_t* out);
+
 // Fused complex float gemm over split re/im planar operands:
 //   C = op(A) @ op(B) + beta * C   (both planes)
 // op(A) is [m, k], op(B) is [k, n]; `lda`/`ldb`/`ldc` are the physical row
@@ -142,6 +191,16 @@ void log_softmax_rows(std::int64_t rows, std::int64_t cols, const float* a,
 void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
             std::int64_t w, std::int64_t kh, std::int64_t kw,
             std::int64_t stride, std::int64_t pad, float* out);
+
+// im2col over int8 elements, for the quantized serving path: the feature
+// map is quantized once per sample (cheap — c*h*w values), then patches are
+// gathered as bytes, a quarter of the fp32 scratch traffic. Pure data
+// movement, so gathering quantized pixels equals quantizing gathered
+// pixels element for element.
+void im2col_s8(const std::int8_t* x, std::int64_t n, std::int64_t c,
+               std::int64_t h, std::int64_t w, std::int64_t kh,
+               std::int64_t kw, std::int64_t stride, std::int64_t pad,
+               std::int8_t* out);
 
 // Adjoint of im2col: scatters `cols` (same layout as im2col's output) back
 // into the image, *accumulating* into gx (callers pass a gradient buffer).

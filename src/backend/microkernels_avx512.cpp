@@ -1,7 +1,10 @@
 // AVX-512 instantiation of the SIMD microkernels. Compiled with
-// -mavx512f -mavx512vl -mavx512dq (plus the AVX2 baseline): arithmetic stays
-// 8-wide ymm — identical lane math to the AVX2 level, no 512-bit frequency
-// penalty on ADEPT's small matrices — while tail loads/stores use native
-// mask registers instead of vmaskmov emulation.
+// -mavx512f -mavx512vl -mavx512dq -mavx512bw (plus the AVX2 baseline): float
+// arithmetic stays 8-wide ymm — identical lane math to the AVX2 level, no
+// 512-bit frequency penalty on ADEPT's small matrices — while tail
+// loads/stores use native mask registers instead of vmaskmov emulation. The
+// int8 serving gemm is the exception: integer madd has no contraction drift,
+// so it runs an 8x16 full-zmm tile (avx512bw) and stays bit-identical to
+// the narrower levels anyway.
 #define ADEPT_SIMD_NS avx512
 #include "backend/microkernels.inc"

@@ -25,6 +25,11 @@
 //                            popping the first request of a batch
 //                            (default 100; clamps to [0, 1000000]; 0 =
 //                            serve whatever is already queued immediately).
+//   ADEPT_SERVE_QUANT        nonzero = freeze the served model with int8
+//                            quantized execution (per-channel weight scales,
+//                            int32 accumulate, dequantize on store — see
+//                            runtime/plan.h and FreezeOptions::from_env();
+//                            default 0 = fp32).
 #pragma once
 
 #include <string>

@@ -1,14 +1,19 @@
 #include "runtime/compiled_model.h"
 
+#include <chrono>
+#include <cstdio>
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
 #include "autograd/ops.h"
 #include "autograd/tensor.h"
 #include "backend/kernels.h"
+#include "common/version.h"
 #include "nn/layers.h"
 #include "nn/onn_layers.h"
 
@@ -62,10 +67,30 @@ std::vector<float> transposed(const std::vector<float>& w, std::int64_t out,
   return wt;
 }
 
+// Per-row int8 quantization of `rows` rows of `k` floats: scale[i] =
+// absmax(row i) / 127 (0 for an all-zero row). Per-SAMPLE scales are what
+// keeps quantized results independent of micro-batch composition — the
+// Server guarantee in runtime/server.h (a per-batch scale would make a
+// request's answer depend on its batch mates).
+void quantize_rows(std::int64_t rows, std::int64_t k, const float* x,
+                   float* scale, std::int8_t* out) {
+  be::for_each_index(
+      rows,
+      [&](std::int64_t i) {
+        const float* row = x + i * k;
+        const float amax = be::absmax(static_cast<std::size_t>(k), row);
+        scale[i] = amax / 127.0f;
+        be::quantize_s8(static_cast<std::size_t>(k), row,
+                        amax > 0.0f ? 127.0f / amax : 0.0f, out + i * k);
+      },
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(k, 1)));
+}
+
 }  // namespace
 
 CompiledModel CompiledModel::freeze(nn::OnnModel& model,
-                                    std::vector<std::int64_t> input_dims) {
+                                    std::vector<std::int64_t> input_dims,
+                                    FreezeOptions options) {
   if (!model.net) fail("model has no module graph");
   if (input_dims.empty()) fail("input_dims must not be empty");
   const std::vector<std::shared_ptr<nn::Module>> modules =
@@ -93,17 +118,15 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
 
   for (std::size_t mi = 0; mi < modules.size(); ++mi) {
     nn::Module& m = *modules[mi];
-    Step s;
+    PlanStep s;
     s.in_numel = numel_of(cur);
     if (auto* l = dynamic_cast<nn::ONNLinear*>(&m)) {
       expect_features("ONNLinear", l->in_features());
-      s.kind = Step::Kind::linear;
+      s.kind = PlanStep::Kind::linear;
       s.in_feat = l->in_features();
       s.out_feat = l->out_features();
       ag::Tensor w = frozen_onn_weight(l->weight());  // [out, in]
       s.weight = transposed(w.data(), s.out_feat, s.in_feat);
-      s.packed = be::pack_gemm_b(be::Trans::N, s.in_feat, s.out_feat,
-                                 s.weight.data(), s.out_feat);
       if (l->has_bias()) s.bias = l->bias().data();
       cur = {s.out_feat};
     } else if (auto* c = dynamic_cast<nn::ONNConv2d*>(&m)) {
@@ -112,7 +135,7 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
         fail("ONNConv2d expects " + std::to_string(c->in_channels()) +
              " input channels, the plan carries " + dims_str(cur));
       }
-      s.kind = Step::Kind::conv;
+      s.kind = PlanStep::Kind::conv;
       s.c = cur[0];
       s.h = cur[1];
       s.w = cur[2];
@@ -127,18 +150,14 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
       }
       ag::Tensor w = frozen_onn_weight(c->weight());  // [out_c, fan_in]
       s.weight = transposed(w.data(), s.out_c, s.c * s.k * s.k);
-      s.packed = be::pack_gemm_b(be::Trans::N, s.c * s.k * s.k, s.out_c,
-                                 s.weight.data(), s.out_c);
       if (c->has_bias()) s.bias = c->bias().data();
       cur = {s.out_c, s.oh, s.ow};
     } else if (auto* l = dynamic_cast<nn::Linear*>(&m)) {
       expect_features("Linear", l->in_features());
-      s.kind = Step::Kind::linear;
+      s.kind = PlanStep::Kind::linear;
       s.in_feat = l->in_features();
       s.out_feat = l->out_features();
       s.weight = l->weight().data();  // already [in, out]
-      s.packed = be::pack_gemm_b(be::Trans::N, s.in_feat, s.out_feat,
-                                 s.weight.data(), s.out_feat);
       if (l->has_bias()) s.bias = l->bias().data();
       cur = {s.out_feat};
     } else if (auto* c = dynamic_cast<nn::Conv2d*>(&m)) {
@@ -147,7 +166,7 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
         fail("Conv2d expects " + std::to_string(c->in_channels()) +
              " input channels, the plan carries " + dims_str(cur));
       }
-      s.kind = Step::Kind::conv;
+      s.kind = PlanStep::Kind::conv;
       s.c = cur[0];
       s.h = cur[1];
       s.w = cur[2];
@@ -161,8 +180,6 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
         fail("Conv2d output is empty for input " + dims_str(cur));
       }
       s.weight = c->weight().data();  // already [fan_in, out_c]
-      s.packed = be::pack_gemm_b(be::Trans::N, s.c * s.k * s.k, s.out_c,
-                                 s.weight.data(), s.out_c);
       if (c->has_bias()) s.bias = c->bias().data();
       cur = {s.out_c, s.oh, s.ow};
     } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
@@ -171,7 +188,7 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
         fail("BatchNorm2d expects " + std::to_string(bn->channels()) +
              " channels, the plan carries " + dims_str(cur));
       }
-      s.kind = Step::Kind::batchnorm;
+      s.kind = PlanStep::Kind::batchnorm;
       s.c = cur[0];
       s.h = cur[1];
       s.w = cur[2];
@@ -189,16 +206,16 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
       // Peephole: fold into the producing step's store when it can clamp
       // inline (identical bits, one fewer full-buffer pass).
       if (!cm.steps_.empty() && !cm.steps_.back().relu_after &&
-          (cm.steps_.back().kind == Step::Kind::linear ||
-           cm.steps_.back().kind == Step::Kind::conv ||
-           cm.steps_.back().kind == Step::Kind::batchnorm)) {
+          (cm.steps_.back().kind == PlanStep::Kind::linear ||
+           cm.steps_.back().kind == PlanStep::Kind::conv ||
+           cm.steps_.back().kind == PlanStep::Kind::batchnorm)) {
         cm.steps_.back().relu_after = true;
         continue;
       }
-      s.kind = Step::Kind::relu;
+      s.kind = PlanStep::Kind::relu;
     } else if (auto* mp = dynamic_cast<nn::MaxPool2d*>(&m)) {
       expect_chw("MaxPool2d");
-      s.kind = Step::Kind::maxpool;
+      s.kind = PlanStep::Kind::maxpool;
       s.c = cur[0];
       s.h = cur[1];
       s.w = cur[2];
@@ -212,7 +229,7 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
       cur = {s.c, s.oh, s.ow};
     } else if (auto* ap = dynamic_cast<nn::AdaptiveAvgPool2d*>(&m)) {
       expect_chw("AdaptiveAvgPool2d");
-      s.kind = Step::Kind::avgpool;
+      s.kind = PlanStep::Kind::avgpool;
       s.c = cur[0];
       s.h = cur[1];
       s.w = cur[2];
@@ -234,13 +251,57 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
   }
   if (cm.steps_.empty()) fail("model lowered to an empty plan");
   cm.output_numel_ = numel_of(cur);
+
+  // Planning passes (runtime/plan.h), then a single weight-pack pass — the
+  // lowering above deliberately does not pack, so fusion/quantization never
+  // pack a weight twice.
+  if (options.optimize) fuse_plan(cm.steps_);
+  if (options.quantize_int8) quantize_plan(cm.steps_);
+  cm.slot_sizes_ =
+      assign_slots(cm.steps_, options.optimize, cm.max_interm_numel_);
+  pack_plan(cm.steps_);
+  cm.options_ = options;
+  cm.frozen_param_version_ = param_version();
   return cm;
 }
 
-void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
-                          float* dst, Workspace& ws) const {
+bool CompiledModel::refresh(nn::OnnModel& model) {
+  // The whole point of this entry: a refresh loop (serving alongside
+  // training) must not re-materialize and re-pack every weight when no
+  // parameter changed since the last freeze.
+  if (frozen_param_version_ == param_version()) return false;
+  *this = freeze(model, input_dims_, options_);
+  return true;
+}
+
+void CompiledModel::apply(const PlanStep& s, const float* src,
+                          std::int64_t batch, float* dst, Workspace& ws) const {
   switch (s.kind) {
-    case Step::Kind::linear: {
+    case PlanStep::Kind::linear: {
+      if (s.quantized) {
+        ws.ascale.resize(static_cast<std::size_t>(batch));
+        ws.qa.resize(static_cast<std::size_t>(batch * s.in_feat));
+        ws.qacc.resize(static_cast<std::size_t>(batch * s.out_feat));
+        quantize_rows(batch, s.in_feat, src, ws.ascale.data(), ws.qa.data());
+        be::gemm_s8_packed(batch, s.out_feat, s.in_feat, ws.qa.data(),
+                           s.in_feat, s.weight_s8.data(), s.out_feat,
+                           s.packed_s8, ws.qacc.data(), s.out_feat);
+        // Dequantize with the freeze-time folded constants (bias and any
+        // fused BN already inside qscale/qbias).
+        for (std::int64_t i = 0; i < batch; ++i) {
+          const std::int32_t* arow = ws.qacc.data() + i * s.out_feat;
+          float* drow = dst + i * s.out_feat;
+          const float as = ws.ascale[static_cast<std::size_t>(i)];
+          for (std::int64_t j = 0; j < s.out_feat; ++j) {
+            const std::size_t sj = static_cast<std::size_t>(j);
+            float v = static_cast<float>(arow[j]) * (as * s.qscale[sj]) +
+                      s.qbias[sj];
+            if (s.relu_after && v < 0.0f) v = 0.0f;
+            drow[j] = v;
+          }
+        }
+        break;
+      }
       // ag::matmul forward: one N/N gemm, alpha=1 beta=0 (weight panels
       // pre-packed at freeze; bit-identical either way).
       be::gemm_packed(batch, s.out_feat, s.in_feat, 1.0f, src, s.in_feat,
@@ -259,37 +320,99 @@ void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
       }
       break;
     }
-    case Step::Kind::conv: {
-      const std::int64_t rows = batch * s.oh * s.ow;
+    case PlanStep::Kind::conv: {
+      const std::int64_t ohow = s.oh * s.ow;
       const std::int64_t fan_in = s.c * s.k * s.k;
-      ws.cols.resize(static_cast<std::size_t>(rows * fan_in));
-      ws.rows.resize(static_cast<std::size_t>(rows * s.out_c));
-      be::im2col(src, batch, s.c, s.h, s.w, s.k, s.k, s.stride, s.pad,
-                 ws.cols.data());
-      be::gemm_packed(rows, s.out_c, fan_in, 1.0f, ws.cols.data(), fan_in,
-                      be::Trans::N, s.weight.data(), s.out_c, s.packed, 0.0f,
-                      ws.rows.data(), s.out_c);
-      // Fused bias + optional ReLU + rows_to_nchw store: same per-element
-      // arithmetic as the separate bias/relu/rearrange passes of the tape.
+      // Sample-block tiling (fuse_plan): im2col + gemm + store run per
+      // block of samples, so the cols/rows scratch holds one block instead
+      // of the whole batch. Rows are sample-independent, so any blocking is
+      // bit-exact vs the single full-batch pass (conv_row_block == 0).
+      std::int64_t nb = batch;
+      if (s.conv_row_block > 0) {
+        nb = std::clamp(s.conv_row_block / ohow, std::int64_t{1}, batch);
+      }
+      if (s.quantized) {
+        // The int8 pipeline quantizes the feature map once per SAMPLE
+        // (c*h*w values — an order of magnitude fewer than the
+        // rows*fan_in cols matrix), then gathers patches as bytes:
+        // im2col is pure data movement, so gathering quantized pixels
+        // equals quantizing gathered pixels, and every row of a sample
+        // shares that sample's activation scale.
+        ws.ascale.resize(static_cast<std::size_t>(nb));
+        ws.qsrc.resize(static_cast<std::size_t>(nb * s.in_numel));
+        ws.qa.resize(static_cast<std::size_t>(nb * ohow * fan_in));
+        ws.qacc.resize(static_cast<std::size_t>(nb * ohow * s.out_c));
+      } else {
+        ws.cols.resize(static_cast<std::size_t>(nb * ohow * fan_in));
+        ws.rows.resize(static_cast<std::size_t>(nb * ohow * s.out_c));
+      }
       const float* bias = s.bias.empty() ? nullptr : s.bias.data();
-      const float* rp = ws.rows.data();
-      for (std::int64_t ni = 0; ni < batch; ++ni) {
-        for (std::int64_t yo = 0; yo < s.oh; ++yo) {
-          for (std::int64_t xo = 0; xo < s.ow; ++xo) {
-            const std::int64_t row = (ni * s.oh + yo) * s.ow + xo;
-            for (std::int64_t ci = 0; ci < s.out_c; ++ci) {
-              float v = rp[row * s.out_c + ci];
-              if (bias != nullptr) v += bias[ci];
-              if (s.relu_after) v = v > 0.0f ? v : 0.0f;
-              dst[((ni * s.out_c + ci) * s.oh + yo) * s.ow + xo] = v;
+      for (std::int64_t n0 = 0; n0 < batch; n0 += nb) {
+        const std::int64_t nblk = std::min(nb, batch - n0);
+        const std::int64_t rows = nblk * ohow;
+        if (s.quantized) {
+          quantize_rows(nblk, s.in_numel, src + n0 * s.in_numel,
+                        ws.ascale.data(), ws.qsrc.data());
+          be::im2col_s8(ws.qsrc.data(), nblk, s.c, s.h, s.w, s.k, s.k,
+                        s.stride, s.pad, ws.qa.data());
+          be::gemm_s8_packed(rows, s.out_c, fan_in, ws.qa.data(), fan_in,
+                             s.weight_s8.data(), s.out_c, s.packed_s8,
+                             ws.qacc.data(), s.out_c);
+        } else {
+          be::im2col(src + n0 * s.in_numel, nblk, s.c, s.h, s.w, s.k, s.k,
+                     s.stride, s.pad, ws.cols.data());
+          be::gemm_packed(rows, s.out_c, fan_in, 1.0f, ws.cols.data(), fan_in,
+                          be::Trans::N, s.weight.data(), s.out_c, s.packed,
+                          0.0f, ws.rows.data(), s.out_c);
+        }
+        // Fused epilogue + rows_to_nchw store, one output CHANNEL at a time:
+        // writes are contiguous along the dst plane (the gemm-row-major
+        // orientation would scatter them a plane apart), the gemm output
+        // column walks a fixed stride, and the per-channel constants hoist
+        // out of the pixel loop. For fp32 the per-element float expression
+        // sequence — bias, then the BN affine when fuse_plan folded one in,
+        // then ReLU — is exactly what the separate steps evaluate; only the
+        // iteration order changes, which no element depends on. For int8
+        // the constants were pre-folded into qscale/qbias at freeze.
+        for (std::int64_t ni = 0; ni < nblk; ++ni) {
+          for (std::int64_t ci = 0; ci < s.out_c; ++ci) {
+            const std::size_t sc = static_cast<std::size_t>(ci);
+            float* dplane =
+                dst + (((n0 + ni) * s.out_c + ci) * s.oh) * s.ow;
+            if (s.quantized) {
+              const std::int32_t* qcol =
+                  ws.qacc.data() + ni * ohow * s.out_c + ci;
+              const float scale =
+                  ws.ascale[static_cast<std::size_t>(ni)] * s.qscale[sc];
+              const float qb = s.qbias[sc];
+              for (std::int64_t p = 0; p < ohow; ++p) {
+                float v = static_cast<float>(qcol[p * s.out_c]) * scale + qb;
+                if (s.relu_after && v < 0.0f) v = 0.0f;
+                dplane[p] = v;
+              }
+            } else {
+              const float* rcol = ws.rows.data() + ni * ohow * s.out_c + ci;
+              const float bc = bias != nullptr ? bias[ci] : 0.0f;
+              const float mu = s.bn_after ? s.mu[sc] : 0.0f;
+              const float is = s.bn_after ? s.invstd[sc] : 0.0f;
+              const float ga = s.bn_after ? s.gamma[sc] : 0.0f;
+              const float be_ = s.bn_after ? s.beta[sc] : 0.0f;
+              for (std::int64_t p = 0; p < ohow; ++p) {
+                float v = rcol[p * s.out_c];
+                if (bias != nullptr) v += bc;
+                if (s.bn_after) v = (v - mu) * is * ga + be_;
+                if (s.relu_after) v = v > 0.0f ? v : 0.0f;
+                dplane[p] = v;
+              }
             }
           }
         }
       }
       break;
     }
-    case Step::Kind::batchnorm: {
-      // ops.cpp eval path: y = ((x - mu) * invstd) * gamma + beta.
+    case PlanStep::Kind::batchnorm: {
+      // ops.cpp eval path: y = ((x - mu) * invstd) * gamma + beta. Pure
+      // elementwise, so in-place execution (src == dst) is safe.
       const std::int64_t plane = s.h * s.w;
       be::for_each_index(
           batch * s.c,
@@ -309,12 +432,12 @@ void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
           std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)));
       break;
     }
-    case Step::Kind::relu: {
+    case PlanStep::Kind::relu: {
       be::map(static_cast<std::size_t>(batch * s.in_numel), src, dst,
               [](float x) { return x > 0.0f ? x : 0.0f; });
       break;
     }
-    case Step::Kind::maxpool: {
+    case PlanStep::Kind::maxpool: {
       be::for_each_index(
           batch * s.c,
           [&](std::int64_t slice) {
@@ -337,7 +460,7 @@ void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
           /*grain=*/1);
       break;
     }
-    case Step::Kind::avgpool: {
+    case PlanStep::Kind::avgpool: {
       be::for_each_index(
           batch * s.c,
           [&](std::int64_t slice) {
@@ -369,20 +492,53 @@ void CompiledModel::apply(const Step& s, const float* src, std::int64_t batch,
 void CompiledModel::run(const float* input, std::int64_t batch, float* output,
                         Workspace& ws) const {
   if (batch <= 0) fail("run: batch must be positive");
-  const std::size_t cap = static_cast<std::size_t>(batch * max_interm_numel_);
-  ws.a.resize(cap);
-  ws.b.resize(cap);
+  ws.slots.resize(slot_sizes_.size());
+  for (std::size_t i = 0; i < slot_sizes_.size(); ++i) {
+    ws.slots[i].resize(static_cast<std::size_t>(batch * slot_sizes_[i]));
+  }
   const float* src = input;
-  bool use_a = true;
   for (std::size_t si = 0; si < steps_.size(); ++si) {
-    float* dst;
-    if (si + 1 == steps_.size()) {
-      dst = output;
-    } else {
-      dst = use_a ? ws.a.data() : ws.b.data();
-      use_a = !use_a;
+    const PlanStep& s = steps_[si];
+    float* dst = s.out_slot < 0
+                     ? output
+                     : ws.slots[static_cast<std::size_t>(s.out_slot)].data();
+    if (ws.poison_free_slots) {
+      // Aliasing check: the only live value entering this step is its
+      // input; every other slot must be dead. NaN-fill them so a plan that
+      // reads a freed slot visibly poisons its output.
+      for (std::size_t bi = 0; bi < ws.slots.size(); ++bi) {
+        const int b = static_cast<int>(bi);
+        if (b == s.in_slot || b == s.out_slot) continue;
+        std::fill(ws.slots[bi].begin(), ws.slots[bi].end(),
+                  std::numeric_limits<float>::quiet_NaN());
+      }
     }
-    apply(steps_[si], src, batch, dst, ws);
+#ifdef ADEPT_STEP_PROF
+    // Build-time profiling aid (docs/compiled_model.md): per-step best-case
+    // latency, printed every 200 runs. Off by default — the flag is never
+    // set by CMake — so the hot loop below stays branch-free in production.
+    {
+      static thread_local std::vector<double> best;
+      if (best.size() < steps_.size()) best.resize(steps_.size(), 1e300);
+      const auto t0 = std::chrono::steady_clock::now();
+      apply(s, src, batch, dst, ws);
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (us < best[si]) best[si] = us;
+      if (si + 1 == steps_.size()) {
+        static thread_local int calls = 0;
+        if (++calls % 200 == 0) {
+          for (std::size_t j = 0; j < best.size(); ++j)
+            std::fprintf(stderr, "step %2zu kind %d : %8.1f us\n", j,
+                         static_cast<int>(steps_[j].kind), best[j]);
+          std::fprintf(stderr, "---\n");
+        }
+      }
+    }
+#else
+    apply(s, src, batch, dst, ws);
+#endif
     src = dst;
   }
 }
@@ -397,6 +553,48 @@ std::vector<float> CompiledModel::run(const std::vector<float>& input,
   std::vector<float> out(static_cast<std::size_t>(batch * output_numel_));
   run(input.data(), batch, out.data(), ws);
   return out;
+}
+
+std::int64_t CompiledModel::workspace_bytes(std::int64_t batch) const {
+  std::int64_t total = 0;
+  for (auto sz : slot_sizes_) total += sz * batch * 4;
+  // The conv/quant scratch vectors are shared across steps and never
+  // shrink, so each contributes its per-plan maximum.
+  std::int64_t cols = 0, rows = 0, qsrc = 0, qa = 0, qacc = 0, ascale = 0;
+  for (const PlanStep& s : steps_) {
+    if (s.kind == PlanStep::Kind::conv) {
+      const std::int64_t ohow = s.oh * s.ow;
+      const std::int64_t fan_in = s.c * s.k * s.k;
+      std::int64_t nb = batch;
+      if (s.conv_row_block > 0) {
+        nb = std::clamp(s.conv_row_block / ohow, std::int64_t{1}, batch);
+      }
+      const std::int64_t r = nb * ohow;
+      if (s.quantized) {
+        qsrc = std::max(qsrc, nb * s.in_numel);
+        qa = std::max(qa, r * fan_in);
+        qacc = std::max(qacc, r * s.out_c);
+        ascale = std::max(ascale, nb);
+      } else {
+        cols = std::max(cols, r * fan_in);
+        rows = std::max(rows, r * s.out_c);
+      }
+    } else if (s.kind == PlanStep::Kind::linear && s.quantized) {
+      qa = std::max(qa, batch * s.in_feat);
+      qacc = std::max(qacc, batch * s.out_feat);
+      ascale = std::max(ascale, batch);
+    }
+  }
+  return total + (cols + rows + ascale) * 4 + qsrc + qa + qacc * 4;
+}
+
+void CompiledModel::dump_plan(std::ostream& os) const {
+  os << "CompiledModel: input " << dims_str(input_dims_) << " -> "
+     << output_numel_ << " outputs, " << steps_.size() << " steps"
+     << (options_.optimize ? "" : " (unplanned)")
+     << (options_.quantize_int8 ? ", int8" : "") << "\n";
+  dump_plan_steps(steps_, slot_sizes_, os);
+  os << "workspace: " << workspace_bytes(1) << " bytes at batch 1\n";
 }
 
 }  // namespace adept::runtime

@@ -6,25 +6,35 @@
 // pass into a flat list of steps that call the backend kernels
 // (`gemm`/`im2col`/pool/activation) directly on raw float buffers — no
 // ag::Tensor nodes, no tape, no gradient plumbing, no per-op allocations
-// beyond a reusable workspace.
+// beyond a reusable workspace. The planning passes in runtime/plan.h then
+// fuse BatchNorm epilogues, tile conv im2col+gemm into sample blocks, map
+// step outputs into a shared slot pool (liveness analysis), optionally
+// quantize gemm/conv weights to int8, and pack weights for the active SIMD
+// level.
 //
 // Guarantees:
-//   * Bit-exact against `model.net->forward` in eval mode with phase noise
-//     off: every step reproduces the corresponding ag op's forward
-//     arithmetic (same kernels, same accumulation order), so outputs match
-//     bit for bit at any batch size and thread count.
+//   * fp32 plans are bit-exact against `model.net->forward` in eval mode
+//     with phase noise off — planned or not, every transformation preserves
+//     the per-element float operation sequence (tests/test_plan.cpp proves
+//     planned == unplanned == tape with ASSERT_EQ). The opt-in int8 mode
+//     trades that for speed; its integer kernels are still bit-identical
+//     across SIMD levels, thread counts, and micro-batch compositions.
 //   * `run` is const and takes the scratch workspace by reference, so one
 //     CompiledModel is safely shared by many threads (the serving pool in
 //     runtime/server.h) as long as each thread owns its Workspace.
 //   * Frozen weights are copies: later training steps or noise injection on
-//     the source model do not disturb a compiled instance.
+//     the source model do not disturb a compiled instance. `refresh`
+//     re-freezes only when the global param_version moved, so periodic
+//     refresh loops skip the (expensive) weight re-pack when nothing
+//     changed.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
-#include "backend/kernels.h"
 #include "nn/models.h"
+#include "runtime/plan.h"
 
 namespace adept::runtime {
 
@@ -33,7 +43,16 @@ class CompiledModel {
   // Reusable per-thread scratch. Buffers grow to the high-water mark of the
   // plan and stay allocated, so steady-state runs are allocation-free.
   struct Workspace {
-    std::vector<float> a, b, cols, rows;
+    std::vector<std::vector<float>> slots;  // the plan's shared buffer pool
+    std::vector<float> cols, rows;          // conv im2col / gemm-out scratch
+    std::vector<std::int8_t> qsrc;          // quantized conv feature map
+    std::vector<std::int8_t> qa;            // quantized gemm activation rows
+    std::vector<std::int32_t> qacc;         // int32 gemm accumulators
+    std::vector<float> ascale;              // per-sample activation scales
+    // Debug hook for the aliasing test: when set, run() fills every slot
+    // that is NOT live for the step about to execute with NaN, so a plan
+    // that reads a freed slot poisons its output.
+    bool poison_free_slots = false;
   };
 
   // Lower `model` for inputs of per-sample shape `input_dims` (no batch
@@ -42,7 +61,15 @@ class CompiledModel {
   // running stats, no noise). Throws std::runtime_error for module types
   // the lowering does not know or shape mismatches along the walk.
   static CompiledModel freeze(nn::OnnModel& model,
-                              std::vector<std::int64_t> input_dims);
+                              std::vector<std::int64_t> input_dims,
+                              FreezeOptions options = {});
+
+  // Re-freeze against `model` if any parameter may have changed since this
+  // instance was frozen (global param_version moved); returns whether work
+  // was done. A no-op refresh performs zero weight packs — the fix for the
+  // redundant re-pack on unchanged weights (regression-tested via
+  // weight_pack_count()).
+  bool refresh(nn::OnnModel& model);
 
   // Batched inference: `input` is [batch, input_numel()] row-major,
   // `output` receives [batch, output_numel()].
@@ -56,38 +83,33 @@ class CompiledModel {
   std::int64_t output_numel() const { return output_numel_; }
   const std::vector<std::int64_t>& input_dims() const { return input_dims_; }
   std::size_t num_steps() const { return steps_.size(); }
+  std::size_t num_slots() const { return slot_sizes_.size(); }
+  bool quantized() const { return options_.quantize_int8; }
+  const FreezeOptions& options() const { return options_; }
+  std::uint64_t frozen_param_version() const { return frozen_param_version_; }
+
+  // Deterministic workspace footprint of run() at `batch`: the slot pool
+  // plus conv/quantization scratch, in bytes. The planned-vs-unplanned
+  // delta is the memory the planner saves (reported by bench_serve).
+  std::int64_t workspace_bytes(std::int64_t batch) const;
+
+  // Human-readable plan listing (step kinds, shapes, fused epilogues, slot
+  // assignment) — the worked example in docs/compiled_model.md is this
+  // printer's output for LeNet-5.
+  void dump_plan(std::ostream& os) const;
 
  private:
-  struct Step {
-    enum class Kind : std::uint8_t { linear, conv, batchnorm, relu, maxpool, avgpool };
-    Kind kind = Kind::relu;
-    std::int64_t in_numel = 0, out_numel = 0;  // per sample
-    // linear: weight [in,out]; conv: weight [C*k*k, out_c] (gemm-ready)
-    std::int64_t in_feat = 0, out_feat = 0;
-    std::int64_t c = 0, h = 0, w = 0, k = 0, stride = 0, pad = 0;
-    std::int64_t oh = 0, ow = 0, out_c = 0;
-    std::vector<float> weight;
-    // Weight panels pre-packed for the active SIMD level at freeze time, so
-    // steady-state gemms skip per-call packing (bit-identical either way;
-    // gemm_packed falls back to `weight` if the dispatch level changes).
-    backend::PackedGemmB packed;
-    std::vector<float> bias;  // empty = no bias
-    // A following ReLU folded into this step's store (max(v, 0) of the same
-    // value is bit-identical to a separate relu pass, one buffer sweep
-    // cheaper). Set by the freeze-time peephole for linear/conv/batchnorm.
-    bool relu_after = false;
-    // batchnorm (eval): y = ((x - mu) * invstd) * gamma + beta per channel
-    std::vector<float> mu, invstd, gamma, beta;
-  };
+  void apply(const PlanStep& s, const float* src, std::int64_t batch,
+             float* dst, Workspace& ws) const;
 
-  void apply(const Step& s, const float* src, std::int64_t batch, float* dst,
-             Workspace& ws) const;
-
-  std::vector<Step> steps_;
+  std::vector<PlanStep> steps_;
+  std::vector<std::int64_t> slot_sizes_;  // per-sample floats per slot
   std::vector<std::int64_t> input_dims_;
   std::int64_t input_numel_ = 0;
   std::int64_t output_numel_ = 0;
   std::int64_t max_interm_numel_ = 0;  // workspace high-water mark per sample
+  FreezeOptions options_;
+  std::uint64_t frozen_param_version_ = 0;
 };
 
 }  // namespace adept::runtime

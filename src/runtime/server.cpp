@@ -29,6 +29,7 @@ ServerConfig ServerConfig::from_env() {
   c.threads = env_int("ADEPT_SERVE_THREADS", hw > 0 ? hw : 1);
   c.max_batch = env_int("ADEPT_SERVE_MAX_BATCH", 16);
   c.max_wait_us = env_int("ADEPT_SERVE_MAX_WAIT_US", 100);
+  c.quantize = env_int("ADEPT_SERVE_QUANT", 0) != 0;
   return c.clamped();
 }
 

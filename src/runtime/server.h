@@ -41,12 +41,22 @@ struct ServerConfig {
   int max_batch = 16;     // micro-batch ceiling per forward
   int max_wait_us = 100;  // stragglers window after the first pop
   std::size_t queue_capacity = 1024;
+  // Freeze-time knob surfaced in the serving config so deployment entry
+  // points (examples/serve_ptc, bench_serve) pick it up alongside the other
+  // ADEPT_SERVE_* variables: serve the int8-quantized plan instead of fp32
+  // (pass FreezeOptions{.quantize_int8 = config.quantize} to freeze). The
+  // Server itself is plan-agnostic — quantization is baked into the
+  // CompiledModel it borrows. Per-sample activation scales keep the
+  // batch-composition-independence guarantee above intact for quantized
+  // plans too (asserted in tests/test_plan.cpp).
+  bool quantize = false;
 
   // Reads ADEPT_SERVE_THREADS / ADEPT_SERVE_MAX_BATCH /
-  // ADEPT_SERVE_MAX_WAIT_US, clamping out-of-range values into the
-  // supported envelope (documented in common/env.h, tested in
-  // tests/test_runtime.cpp): threads [1, 256] (default: hardware
-  // concurrency), max_batch [1, 4096], max_wait_us [0, 1000000].
+  // ADEPT_SERVE_MAX_WAIT_US / ADEPT_SERVE_QUANT, clamping out-of-range
+  // values into the supported envelope (documented in common/env.h, tested
+  // in tests/test_runtime.cpp): threads [1, 256] (default: hardware
+  // concurrency), max_batch [1, 4096], max_wait_us [0, 1000000], quantize
+  // any nonzero integer.
   static ServerConfig from_env();
 
   // The clamp from_env applies, exposed for callers building configs by

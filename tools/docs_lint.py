@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Docs lint: relative-link check + env-knob drift check.
+
+Run from the repo root (CI does):  python3 tools/docs_lint.py
+
+Checks, each exiting non-zero on failure:
+  1. Every relative markdown link (and image) in README.md, ROADMAP.md,
+     bench/README.md, and docs/*.md resolves to an existing file. External
+     http(s)/mailto links and pure #anchors are skipped — CI must not
+     depend on the network.
+  2. Every ADEPT_* environment knob documented in src/common/env.h appears
+     somewhere in README.md, so the README knob table cannot silently drift
+     from the source of truth.
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "ROADMAP.md", ROOT / "bench" / "README.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) links, excluding images handled identically and code spans
+# stripped first. Markdown inside code fences is still linted — links there
+# are expected to be real paths in this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+KNOB_RE = re.compile(r"\bADEPT_[A-Z0-9_]+\b")
+
+
+def check_links() -> list[str]:
+    errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(ROOT)}: file missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{doc.relative_to(ROOT)}:{line}: broken link -> {target}"
+                )
+    return errors
+
+
+def check_env_knobs() -> list[str]:
+    env_h = (ROOT / "src" / "common" / "env.h").read_text(encoding="utf-8")
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    # ADEPT_BENCH_* is a documented prefix family (per-bench scale knobs
+    # live in bench_common.h); the concrete name ADEPT_BENCH_FULL is still
+    # checked like any other.
+    knobs = sorted(set(KNOB_RE.findall(env_h)))
+    return [
+        f"src/common/env.h documents {knob} but README.md never mentions it"
+        for knob in knobs
+        if knob not in readme
+    ]
+
+
+def main() -> int:
+    errors = check_links() + check_env_knobs()
+    for err in errors:
+        print(f"docs-lint: {err}", file=sys.stderr)
+    if not errors:
+        docs = ", ".join(str(d.relative_to(ROOT)) for d in DOC_FILES)
+        print(f"docs-lint: OK ({docs})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
