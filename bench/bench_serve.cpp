@@ -22,15 +22,30 @@
 //                           latency at 1/4/8 worker threads for a fixed
 //                           request pile; one extra record serves the
 //                           quantized plan at 4 threads.
+//   overload                4 producers flood a small-queue 2-worker server
+//                           (offered load far beyond capacity, 250 ms
+//                           deadlines) once per overload policy. Records
+//                           goodput (completed-before-deadline per second),
+//                           reject/shed/deadline-miss rates, and accepted-
+//                           request p99. The demonstration: `reject` and
+//                           `shed_oldest` keep accepted p99 bounded by the
+//                           queue, while `block` admits everything and its
+//                           p99 grows with the whole backlog (latency is
+//                           measured from the submit() call, so time spent
+//                           blocked on the full queue counts — that is the
+//                           client-observed wait).
 //
 // `--json [path]` emits BENCH_serve.json for the perf trajectory (schema in
 // docs/benchmarks.md). Scale knobs:
 //   ADEPT_BENCH_SERVE_N   requests per serving measurement (default 384,
 //                         full scale 4096)
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <future>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
@@ -191,6 +206,75 @@ ServeResult measure_serving(const rt::CompiledModel& cm, int threads, int reques
   return r;
 }
 
+struct OverloadResult {
+  double wall_s = 0;
+  double goodput_qps = 0;   // completed-before-deadline per second
+  double reject_rate = 0;   // admission-refused / offered
+  double shed_rate = 0;     // shed_oldest drops / offered
+  double miss_rate = 0;     // deadline misses / offered
+  double p99_accepted_us = 0;
+};
+
+// Offered load far beyond capacity: 4 producers flood a 2-worker server with
+// a deliberately small queue and a 250 ms deadline on every request. The
+// queue bound is what keeps accepted-request p99 small under reject/
+// shed_oldest; under block the producers are admitted eventually and their
+// submit-to-result latency grows with the whole backlog.
+OverloadResult measure_overload(const rt::CompiledModel& cm,
+                                rt::OverloadPolicy policy, int requests) {
+  rt::ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_batch = kServeBatch;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = kServeBatch;
+  cfg.policy = policy;
+  cfg.deadline_us = 250'000;
+  rt::Server server(cm, cfg);
+
+  // Pre-generated input pool so producers offer load with zero think time.
+  adept::Rng rng(21);
+  std::vector<std::vector<float>> pool;
+  for (int i = 0; i < 32; ++i) pool.push_back(random_sample(rng));
+
+  constexpr int kProducers = 4;
+  const int per_producer = std::max(1, requests / kProducers);
+  std::atomic<int> completed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::future<std::vector<float>>> futures;
+      futures.reserve(static_cast<std::size_t>(per_producer));
+      for (int i = 0; i < per_producer; ++i) {
+        futures.push_back(server.submit(pool[static_cast<std::size_t>(
+            (p * per_producer + i) % static_cast<int>(pool.size()))]));
+      }
+      for (auto& f : futures) {
+        try {
+          (void)f.get();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const rt::ServingError&) {
+          // rejected / shed / deadline-missed: counted by the server stats
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const rt::ServerStats stats = server.stats();
+  const double offered = static_cast<double>(kProducers * per_producer);
+  OverloadResult r;
+  r.wall_s = wall;
+  r.goodput_qps = completed.load() / wall;
+  r.reject_rate = static_cast<double>(stats.rejected) / offered;
+  r.shed_rate = static_cast<double>(stats.shed) / offered;
+  r.miss_rate = static_cast<double>(stats.deadline_misses) / offered;
+  r.p99_accepted_us = stats.latency_p99_us;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +352,19 @@ int main(int argc, char** argv) {
                    {"p99_us", r.p99_us},
                    {"requests", static_cast<double>(requests)}}});
     }
+    for (rt::OverloadPolicy policy :
+         {rt::OverloadPolicy::block, rt::OverloadPolicy::reject,
+          rt::OverloadPolicy::shed_oldest}) {
+      const OverloadResult r = measure_overload(cm, policy, requests);
+      report.add({"overload_" + rt::to_string(policy),
+                  {{"goodput_qps", r.goodput_qps},
+                   {"reject_rate", r.reject_rate},
+                   {"shed_rate", r.shed_rate},
+                   {"deadline_miss_rate", r.miss_rate},
+                   {"p99_accepted_us", r.p99_accepted_us},
+                   {"wall_s", r.wall_s},
+                   {"requests", static_cast<double>(requests)}}});
+    }
     if (!report.write(json_path, adept::backend::num_threads())) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
@@ -302,5 +399,22 @@ int main(int argc, char** argv) {
                  adept::Table::fmt(rq.fill, 2), adept::Table::fmt(rq.p50_us, 0),
                  adept::Table::fmt(rq.p99_us, 0)});
   table.print(std::cout);
+
+  std::printf("\noverload (4 producers, 2 workers, queue %d, 250 ms deadline):\n",
+              kServeBatch);
+  adept::Table overload({"policy", "goodput QPS", "reject", "shed", "miss",
+                         "accepted p99 [us]"});
+  for (rt::OverloadPolicy policy :
+       {rt::OverloadPolicy::block, rt::OverloadPolicy::reject,
+        rt::OverloadPolicy::shed_oldest}) {
+    const OverloadResult r = measure_overload(cm, policy, requests);
+    overload.add_row({rt::to_string(policy),
+                      adept::Table::fmt(r.goodput_qps, 0),
+                      adept::Table::fmt(r.reject_rate, 3),
+                      adept::Table::fmt(r.shed_rate, 3),
+                      adept::Table::fmt(r.miss_rate, 3),
+                      adept::Table::fmt(r.p99_accepted_us, 0)});
+  }
+  overload.print(std::cout);
   return 0;
 }

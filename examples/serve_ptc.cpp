@@ -13,16 +13,24 @@
 //   6. Re-freeze with int8 quantization (FreezeOptions::quantize_int8, the
 //      knob ADEPT_SERVE_QUANT=1 sets for a Server built from env) and show
 //      the worst-case output delta vs the fp32 plan.
+//   7. Overload the server under OverloadPolicy::reject and absorb the
+//      admission refusals with the client-side retry-with-backoff helper
+//      (`submit_with_backoff` below — the intended client protocol for
+//      the reject policy; see docs/serving.md).
 //
 // Build & run:  ./build/example_serve_ptc [checkpoint.bin]
 //   With an argument, steps 1-3 are replaced by loading that checkpoint.
 //   Serving knobs: ADEPT_SERVE_THREADS / ADEPT_SERVE_MAX_BATCH /
-//   ADEPT_SERVE_MAX_WAIT_US / ADEPT_SERVE_QUANT (see src/common/env.h).
+//   ADEPT_SERVE_MAX_WAIT_US / ADEPT_SERVE_POLICY / ADEPT_SERVE_DEADLINE_US /
+//   ADEPT_SERVE_QUANT (see src/common/env.h).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/search.h"
@@ -68,6 +76,27 @@ ph::PtcTopology search_core() {
               static_cast<long long>(counts.blocks),
               result.topology.footprint_um2(ph::Pdk::amf()) / 1000.0);
   return result.topology;
+}
+
+// Client-side retry with exponential backoff: under OverloadPolicy::reject
+// the server fails the future with RejectedError instead of blocking, and
+// the client owns the waiting. Resubmit with a doubling (capped) pause;
+// every other failure — DeadlineExceededError, ShutdownError, a real
+// forward error — propagates to the caller.
+std::vector<float> submit_with_backoff(rt::Server& server,
+                                       const std::vector<float>& input,
+                                       int max_attempts = 10) {
+  std::int64_t backoff_us = 200;
+  for (int attempt = 1;; ++attempt) {
+    auto future = server.submit(input);
+    try {
+      return future.get();
+    } catch (const rt::RejectedError&) {
+      if (attempt >= max_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min<std::int64_t>(backoff_us * 2, 20'000);
+    }
+  }
 }
 
 }  // namespace
@@ -178,5 +207,38 @@ int main(int argc, char** argv) {
   }
   std::printf("int8 vs fp32 worst output delta over %d queries: %.4f\n",
               n_queries, max_delta);
-  return mismatches == 0 ? 0 : 1;
+
+  std::printf("\n=== 7. Overload: reject policy + client retry-with-backoff ===\n");
+  // A deliberately tiny server (1 worker, 2-slot queue) flooded by 3
+  // clients: admission refusals are expected, and the backoff helper turns
+  // every one of them into an eventual success.
+  rt::ServerConfig ocfg;
+  ocfg.threads = 1;
+  ocfg.max_batch = 2;
+  ocfg.max_wait_us = 0;
+  ocfg.queue_capacity = 2;
+  ocfg.policy = rt::OverloadPolicy::reject;
+  rt::Server overloaded(compiled, ocfg);
+  constexpr int kClients = 3, kPerClient = 16;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&overloaded, &answered, c] {
+      adept::Rng crng(static_cast<std::uint64_t>(100 + c));
+      std::vector<float> q(kImage * kImage);
+      for (int i = 0; i < kPerClient; ++i) {
+        for (auto& v : q) v = static_cast<float>(crng.uniform(-1.0, 1.0));
+        (void)submit_with_backoff(overloaded, q);
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const rt::ServerStats ostats = overloaded.stats();
+  std::printf("%d queries from %d clients: %d answered, %llu admission "
+              "rejections absorbed by backoff\n",
+              kClients * kPerClient, kClients, answered.load(),
+              static_cast<unsigned long long>(ostats.rejected));
+  const bool overload_ok = answered.load() == kClients * kPerClient;
+  return (mismatches == 0 && overload_ok) ? 0 : 1;
 }

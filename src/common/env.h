@@ -25,11 +25,28 @@
 //                            popping the first request of a batch
 //                            (default 100; clamps to [0, 1000000]; 0 =
 //                            serve whatever is already queued immediately).
+//   ADEPT_SERVE_POLICY       what submit() does when the bounded queue is
+//                            full: block | reject | shed_oldest (default
+//                            block; unknown names clamp to block, never
+//                            error — see runtime/server.h OverloadPolicy).
+//   ADEPT_SERVE_DEADLINE_US  default per-request deadline, microseconds
+//                            from submit (default 0 = none; clamps to
+//                            [0, 600000000]). Expired requests fail with
+//                            DeadlineExceededError instead of executing.
 //   ADEPT_SERVE_QUANT        nonzero = freeze the served model with int8
 //                            quantized execution (per-channel weight scales,
 //                            int32 accumulate, dequantize on store — see
 //                            runtime/plan.h and FreezeOptions::from_env();
 //                            default 0 = fp32).
+//
+// Fault injection (see common/failpoint.h for the spec grammar and the list
+// of wired sites):
+//   ADEPT_FAILPOINTS         "site=spec;site2=spec" — arm named failpoints
+//                            at process start, e.g.
+//                            "checkpoint.save.write=truncate(128)" or
+//                            "server.worker.batch=stall(5000)". Parsed once
+//                            at first site evaluation; malformed entries
+//                            throw std::invalid_argument there.
 #pragma once
 
 #include <string>

@@ -1,0 +1,211 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/env.h"
+
+namespace adept::failpoint {
+
+namespace {
+
+struct Action {
+  enum class Kind { throw_error, simulate_error, stall, truncate_write };
+  Kind kind = Kind::throw_error;
+  std::int64_t arg = 0;   // stall: microseconds; truncate_write: byte offset
+  std::int64_t budget = -1;  // firings left; -1 = unlimited
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Action> armed;
+  std::map<std::string, std::uint64_t> hits;
+  bool env_loaded = false;
+};
+
+// Leaked singleton: failpoints can fire from worker threads during static
+// destruction order teardown, so the registry must never be destroyed.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Relaxed armed-site count — the only thing the disarmed fast path reads.
+std::atomic<int> armed_count{0};
+
+Action parse_spec(const std::string& site, const std::string& spec) {
+  Action a;
+  std::string body = spec;
+  const std::size_t star = body.find('*');
+  if (star != std::string::npos) {
+    try {
+      a.budget = std::stoll(body.substr(0, star));
+    } catch (...) {
+      a.budget = -2;  // force the error below
+    }
+    if (a.budget < 1) {
+      throw std::invalid_argument("failpoint \"" + site + "\": bad firing budget in spec \"" +
+                                  spec + "\" (want e.g. \"2*error\")");
+    }
+    body = body.substr(star + 1);
+  }
+  auto arg_of = [&](const std::string& name) {
+    const std::string inner = body.substr(name.size() + 1, body.size() - name.size() - 2);
+    try {
+      return std::stoll(inner);
+    } catch (...) {
+      throw std::invalid_argument("failpoint \"" + site + "\": bad argument \"" + inner +
+                                  "\" in spec \"" + spec + "\"");
+    }
+  };
+  if (body == "throw") {
+    a.kind = Action::Kind::throw_error;
+  } else if (body == "error") {
+    a.kind = Action::Kind::simulate_error;
+  } else if (body.rfind("stall(", 0) == 0 && body.back() == ')') {
+    a.kind = Action::Kind::stall;
+    a.arg = arg_of("stall");
+    if (a.arg < 0 || a.arg > 60'000'000) {
+      throw std::invalid_argument("failpoint \"" + site + "\": stall of " +
+                                  std::to_string(a.arg) + " us is outside [0, 60s]");
+    }
+  } else if (body.rfind("truncate(", 0) == 0 && body.back() == ')') {
+    a.kind = Action::Kind::truncate_write;
+    a.arg = arg_of("truncate");
+    if (a.arg < 0) {
+      throw std::invalid_argument("failpoint \"" + site + "\": negative truncate offset " +
+                                  std::to_string(a.arg));
+    }
+  } else {
+    throw std::invalid_argument(
+        "failpoint \"" + site + "\": unknown action spec \"" + spec +
+        "\" (want throw | error | stall(us) | truncate(bytes), optionally \"N*\"-prefixed)");
+  }
+  return a;
+}
+
+// Parse ADEPT_FAILPOINTS="site=spec;site2=spec". Called under the registry
+// lock, once. Programmatic arms that happened earlier win: env entries only
+// fill sites not already armed.
+void load_env_locked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  const std::string env = env_string("ADEPT_FAILPOINTS", "");
+  std::size_t pos = 0;
+  while (pos < env.size()) {
+    std::size_t end = env.find(';', pos);
+    if (end == std::string::npos) end = env.size();
+    const std::string entry = env.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("ADEPT_FAILPOINTS: entry \"" + entry +
+                                  "\" is not site=spec");
+    }
+    const std::string site = entry.substr(0, eq);
+    if (r.armed.find(site) == r.armed.end()) {
+      r.armed.emplace(site, parse_spec(site, entry.substr(eq + 1)));
+      armed_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// Looks up `site`, records the hit, and consumes one firing from its
+// budget. Returns the action to execute, or nullopt when unarmed (or when
+// `want` does not match the armed kind — a truncate spec must not fire from
+// maybe_fail and vice versa).
+std::optional<Action> consume(const char* site, bool want_truncate) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  load_env_locked(r);
+  auto it = r.armed.find(site);
+  if (it == r.armed.end()) return std::nullopt;
+  const bool is_truncate = it->second.kind == Action::Kind::truncate_write;
+  if (is_truncate != want_truncate) return std::nullopt;
+  Action a = it->second;
+  ++r.hits[site];
+  if (it->second.budget > 0 && --it->second.budget == 0) {
+    r.armed.erase(it);
+    armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return a;
+}
+
+}  // namespace
+
+bool any_armed() {
+  if (armed_count.load(std::memory_order_relaxed) > 0) return true;
+  // Until the environment has been inspected once, the count may be stale
+  // at zero even though ADEPT_FAILPOINTS arms sites; force the (one-time)
+  // parse so env-armed runs fire from the very first site evaluation.
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  load_env_locked(r);
+  return armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+void arm(const std::string& site, const std::string& spec) {
+  Action a = parse_spec(site, spec);
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  auto [it, inserted] = r.armed.insert_or_assign(site, a);
+  (void)it;
+  if (inserted) armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  if (r.armed.erase(site) > 0) armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  armed_count.fetch_sub(static_cast<int>(r.armed.size()), std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+void reset_env_for_testing() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  r.env_loaded = false;
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  auto it = r.hits.find(site);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+bool maybe_fail(const char* site) {
+  if (!any_armed()) return false;
+  const std::optional<Action> a = consume(site, /*want_truncate=*/false);
+  if (!a) return false;
+  switch (a->kind) {
+    case Action::Kind::throw_error:
+      throw Injected(site);
+    case Action::Kind::simulate_error:
+      return true;
+    case Action::Kind::stall:
+      std::this_thread::sleep_for(std::chrono::microseconds(a->arg));
+      return false;
+    case Action::Kind::truncate_write:
+      return false;  // unreachable: filtered by consume()
+  }
+  return false;
+}
+
+std::optional<std::int64_t> write_truncation(const char* site) {
+  if (!any_armed()) return std::nullopt;
+  const std::optional<Action> a = consume(site, /*want_truncate=*/true);
+  if (!a) return std::nullopt;
+  return a->arg;
+}
+
+}  // namespace adept::failpoint

@@ -1,13 +1,21 @@
 #include "runtime/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/binio.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/version.h"
 #include "nn/layers.h"
@@ -481,23 +489,136 @@ LoadedCheckpoint decode_checkpoint(const std::string& bytes) {
   return result;
 }
 
+namespace {
+
+// Every I/O failure message carries the failing path AND the OS error
+// (errno + strerror), so "I/O failure" is never the whole story.
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path,
+                             int err) {
+  fail(what + " \"" + path + "\": " + std::strerror(err) + " (errno " +
+       std::to_string(err) + ")");
+}
+
+// RAII fd so every error path below closes the descriptor.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int f = fd;
+    fd = -1;
+    return f;
+  }
+};
+
+// Crash-safe publish: write to a sibling temp file, fsync it, and rename
+// over `path`. A crash at ANY point leaves either the previous good file or
+// a stray .tmp — never a torn `path`. Failpoints cover each stage
+// (checkpoint.save.{open,write,fsync,rename}); "truncate(K)" on the write
+// site stops after K bytes and simulates the crash.
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  Fd out;
+  if (failpoint::maybe_fail("checkpoint.save.open")) errno = EACCES;
+  else out.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out.fd < 0) fail_errno("cannot open temp file", tmp, errno);
+
+  std::size_t limit = bytes.size();
+  bool crash_after_write = false;
+  if (const auto k = failpoint::write_truncation("checkpoint.save.write")) {
+    limit = std::min<std::size_t>(limit, static_cast<std::size_t>(*k));
+    crash_after_write = true;
+  }
+  std::size_t written = 0;
+  while (written < limit) {
+    const ::ssize_t n = ::write(out.fd, bytes.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::unlink(tmp.c_str());
+      fail_errno("write failed on temp file", tmp, err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (crash_after_write || failpoint::maybe_fail("checkpoint.save.write")) {
+    // Simulated crash mid-save: the partial .tmp stays behind (as it would
+    // after a real crash); `path` is untouched.
+    fail("simulated crash while writing \"" + tmp + "\" (failpoint): wrote " +
+         std::to_string(written) + " of " + std::to_string(bytes.size()) + " bytes");
+  }
+  if (failpoint::maybe_fail("checkpoint.save.fsync") ? (errno = EIO, true)
+                                                     : ::fsync(out.fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail_errno("fsync failed on temp file", tmp, err);
+  }
+  if (::close(out.release()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail_errno("close failed on temp file", tmp, err);
+  }
+  if (failpoint::maybe_fail("checkpoint.save.rename") ? (errno = EXDEV, true)
+                                                      : ::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail_errno("cannot rename temp file over", path, err);
+  }
+  // Durability of the rename itself: fsync the containing directory (best
+  // effort — some filesystems refuse O_RDONLY dir fsync; the data file
+  // above IS synced either way).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  Fd dirfd;
+  dirfd.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd.fd >= 0) (void)::fsync(dirfd.fd);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail_errno("cannot open", path, errno);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) fail_errno("read error on", path, errno);
+  // Torn-read injection: "truncate(K)" keeps only the first K bytes (as if
+  // a non-atomic writer raced this read); "error"/"throw"/"stall" behave as
+  // usual.
+  if (const auto k = failpoint::write_truncation("checkpoint.load.read")) {
+    bytes.resize(std::min<std::size_t>(bytes.size(), static_cast<std::size_t>(*k)));
+  }
+  if (failpoint::maybe_fail("checkpoint.load.read")) {
+    fail_errno("read error on", path, EIO);
+  }
+  return bytes;
+}
+
+// A decode failure that could be a transiently-torn read (a non-atomic
+// writer mid-flight) rather than durable corruption. save_checkpoint's
+// atomic rename makes this impossible for files it wrote, but checkpoints
+// also arrive from scp/NFS/CI artifacts.
+bool transient_decode_error(const std::string& msg) {
+  return msg.find("truncated") != std::string::npos ||
+         msg.find("CRC mismatch") != std::string::npos;
+}
+
+}  // namespace
+
 void save_checkpoint(nn::OnnModel& model, const std::string& path,
                      const photonics::Pdk* pdk) {
   const std::string bytes = encode_checkpoint(model, pdk);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot open \"" + path + "\" for writing");
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) fail("short write to \"" + path + "\" (disk full?)");
+  write_file_atomic(path, bytes);
 }
 
 LoadedCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open \"" + path + "\" for reading");
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) fail("read error on \"" + path + "\"");
-  return decode_checkpoint(bytes);
+  constexpr int kAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return decode_checkpoint(read_file(path));
+    } catch (const std::runtime_error& e) {
+      if (attempt >= kAttempts || !transient_decode_error(e.what())) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    }
+  }
 }
 
 }  // namespace adept::runtime

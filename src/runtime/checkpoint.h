@@ -49,12 +49,21 @@ struct LoadedCheckpoint {
 // Serialize `model` to `path`. Supermesh-bound layers cannot be checkpointed
 // (they reference live search state); freeze the searched design to a
 // PtcTopology first (core::SearchResult::topology) and rebuild the model
-// with PtcBinding::fixed. Throws std::runtime_error on I/O failure or
-// unsupported modules.
+// with PtcBinding::fixed. Throws std::runtime_error on I/O failure (message
+// includes the path and errno/strerror) or unsupported modules.
+//
+// Crash-safe: bytes go to `path + ".tmp"`, are fsync'd, and atomically
+// rename(2)'d over `path` — a crash at any point leaves either the previous
+// good checkpoint or a stray .tmp, never a torn `path` (proven with
+// failpoint-injected crashes in tests/test_server_robustness.cpp).
 void save_checkpoint(nn::OnnModel& model, const std::string& path,
                      const photonics::Pdk* pdk = nullptr);
 
-// Rebuild a model (architecture + parameters) from `path`.
+// Rebuild a model (architecture + parameters) from `path`. Decode failures
+// that look like a transiently-torn read (truncation, CRC mismatch — e.g. a
+// non-atomic remote writer racing this read) are retried up to 2 more times
+// with a short backoff before the error propagates; durable corruption
+// (bad magic, version skew, implausible counts) fails immediately.
 LoadedCheckpoint load_checkpoint(const std::string& path);
 
 // In-memory variants backing the file API (used by tests to exercise

@@ -1,5 +1,7 @@
 #include "runtime/compiled_model.h"
 
+#include "common/failpoint.h"
+
 #include <chrono>
 #include <cstdio>
 #include <algorithm>
@@ -93,6 +95,12 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
                                     FreezeOptions options) {
   if (!model.net) fail("model has no module graph");
   if (input_dims.empty()) fail("input_dims must not be empty");
+  // Robustness seam: reload paths (Server::reload) freeze through here, so
+  // tests inject freeze failures at this site to prove a failed reload
+  // leaves the old model serving.
+  if (failpoint::maybe_fail("runtime.freeze")) {
+    fail("freeze failed (injected via failpoint runtime.freeze)");
+  }
   const std::vector<std::shared_ptr<nn::Module>> modules =
       nn::flatten_modules(model.net);
 

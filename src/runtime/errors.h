@@ -1,0 +1,41 @@
+// Typed failures surfaced through the serving futures.
+//
+// Every class derives from std::runtime_error (via ServingError), so code
+// written against the PR-5 API — which only knew std::runtime_error — keeps
+// compiling and catching. New callers catch the precise type to pick a
+// recovery strategy:
+//
+//   RejectedError           transient overload: the queue was full under the
+//                           `reject` policy, or this request was the oldest
+//                           queued one when `shed_oldest` made room. Safe to
+//                           retry after a backoff (see retry helper in
+//                           examples/serve_ptc.cpp).
+//   DeadlineExceededError   the request expired before a worker ran it. The
+//                           work was never executed; retrying only helps if
+//                           the client also relaxes its deadline.
+//   ShutdownError           the server is stopping (or already stopped).
+//                           Not retryable against this instance.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adept::runtime {
+
+struct ServingError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct RejectedError final : ServingError {
+  using ServingError::ServingError;
+};
+
+struct DeadlineExceededError final : ServingError {
+  using ServingError::ServingError;
+};
+
+struct ShutdownError final : ServingError {
+  using ServingError::ServingError;
+};
+
+}  // namespace adept::runtime

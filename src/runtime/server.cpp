@@ -1,10 +1,12 @@
 #include "runtime/server.h"
 
 #include <algorithm>
-#include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "common/env.h"
+#include "common/failpoint.h"
+#include "runtime/checkpoint.h"
 
 namespace adept::runtime {
 
@@ -12,13 +14,41 @@ namespace {
 
 int clamp_int(int v, int lo, int hi) { return std::min(std::max(v, lo), hi); }
 
+std::int64_t clamp_i64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+const CompiledModel& deref_model(const std::shared_ptr<const CompiledModel>& m) {
+  if (!m) throw std::invalid_argument("Server: model must not be null");
+  return *m;
+}
+
+using Clock = std::chrono::steady_clock;
+
 }  // namespace
+
+std::string to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::block: return "block";
+    case OverloadPolicy::reject: return "reject";
+    case OverloadPolicy::shed_oldest: return "shed_oldest";
+  }
+  return "block";
+}
+
+OverloadPolicy parse_overload_policy(const std::string& name, OverloadPolicy def) {
+  if (name == "block") return OverloadPolicy::block;
+  if (name == "reject") return OverloadPolicy::reject;
+  if (name == "shed_oldest") return OverloadPolicy::shed_oldest;
+  return def;
+}
 
 ServerConfig ServerConfig::clamped() const {
   ServerConfig c = *this;
   c.threads = clamp_int(c.threads, 1, 256);
   c.max_batch = clamp_int(c.max_batch, 1, 4096);
   c.max_wait_us = clamp_int(c.max_wait_us, 0, 1'000'000);
+  c.deadline_us = clamp_i64(c.deadline_us, 0, 600'000'000);
   if (c.queue_capacity == 0) c.queue_capacity = 1;
   return c;
 }
@@ -29,12 +59,21 @@ ServerConfig ServerConfig::from_env() {
   c.threads = env_int("ADEPT_SERVE_THREADS", hw > 0 ? hw : 1);
   c.max_batch = env_int("ADEPT_SERVE_MAX_BATCH", 16);
   c.max_wait_us = env_int("ADEPT_SERVE_MAX_WAIT_US", 100);
+  c.policy = parse_overload_policy(env_string("ADEPT_SERVE_POLICY", "block"));
+  c.deadline_us = env_int("ADEPT_SERVE_DEADLINE_US", 0);
   c.quantize = env_int("ADEPT_SERVE_QUANT", 0) != 0;
   return c.clamped();
 }
 
 Server::Server(const CompiledModel& model, ServerConfig config)
-    : model_(model), config_(config.clamped()) {
+    : Server(std::shared_ptr<const CompiledModel>(&model, [](const CompiledModel*) {}),
+             config) {}
+
+Server::Server(std::shared_ptr<const CompiledModel> model, ServerConfig config)
+    : input_numel_(deref_model(model).input_numel()),
+      output_numel_(model->output_numel()),
+      config_(config.clamped()),
+      model_(std::move(model)) {
   workers_.reserve(static_cast<std::size_t>(config_.threads));
   for (int i = 0; i < config_.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -44,66 +83,183 @@ Server::Server(const CompiledModel& model, ServerConfig config)
 Server::~Server() { shutdown(); }
 
 std::future<std::vector<float>> Server::submit(std::vector<float> input) {
-  if (input.size() != static_cast<std::size_t>(model_.input_numel())) {
+  const auto now = Clock::now();
+  return submit_impl(std::move(input),
+                     config_.deadline_us > 0
+                         ? now + std::chrono::microseconds(config_.deadline_us)
+                         : Clock::time_point::max());
+}
+
+std::future<std::vector<float>> Server::submit(std::vector<float> input,
+                                               std::int64_t deadline_us) {
+  const auto now = Clock::now();
+  deadline_us = clamp_i64(deadline_us, 0, 600'000'000);
+  return submit_impl(std::move(input),
+                     deadline_us > 0 ? now + std::chrono::microseconds(deadline_us)
+                                     : Clock::time_point::max());
+}
+
+std::future<std::vector<float>> Server::submit_impl(std::vector<float> input,
+                                                    Clock::time_point deadline) {
+  if (input.size() != static_cast<std::size_t>(input_numel_)) {
     throw std::invalid_argument(
         "Server::submit: input has " + std::to_string(input.size()) +
-        " values, model expects " + std::to_string(model_.input_numel()));
+        " values, model expects " + std::to_string(input_numel_));
   }
   Request req;
   req.input = std::move(input);
-  req.enqueued = std::chrono::steady_clock::now();
+  req.enqueued = Clock::now();
+  req.deadline = deadline;
   std::future<std::vector<float>> future = req.promise.get_future();
+  std::optional<Request> victim;  // shed_oldest: failed outside the lock
   {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return stopping_ || queue_.size() < config_.queue_capacity; });
+    if (!stopping_ && queue_.size() >= config_.queue_capacity) {
+      switch (config_.policy) {
+        case OverloadPolicy::block:
+          not_full_.wait(lock, [this] {
+            return stopping_ || queue_.size() < config_.queue_capacity;
+          });
+          break;
+        case OverloadPolicy::reject: {
+          lock.unlock();
+          {
+            std::lock_guard stats_lock(stats_mu_);
+            ++rejected_;
+          }
+          req.promise.set_exception(std::make_exception_ptr(RejectedError(
+              "Server::submit: queue full (" + std::to_string(config_.queue_capacity) +
+              " requests, policy reject) — retry with backoff")));
+          return future;
+        }
+        case OverloadPolicy::shed_oldest:
+          victim = std::move(queue_.front());
+          queue_.pop_front();
+          break;
+      }
+    }
     if (stopping_) {
       req.promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("Server::submit: server is shut down")));
+          ShutdownError("Server::submit: server is shut down")));
       return future;
     }
     queue_.push_back(std::move(req));
   }
   not_empty_.notify_one();
+  if (victim) {
+    {
+      std::lock_guard stats_lock(stats_mu_);
+      ++shed_;
+    }
+    victim->promise.set_exception(std::make_exception_ptr(RejectedError(
+        "Server::submit: request shed to admit a newer arrival (queue full, "
+        "policy shed_oldest)")));
+  }
   return future;
+}
+
+void Server::fail_expired(std::vector<Request>& expired) {
+  if (expired.empty()) return;
+  {
+    std::lock_guard stats_lock(stats_mu_);
+    deadline_misses_ += expired.size();
+  }
+  for (auto& req : expired) {
+    const double waited =
+        std::chrono::duration<double, std::micro>(Clock::now() - req.enqueued).count();
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+        "Server: request deadline exceeded after " +
+        std::to_string(static_cast<long long>(waited)) +
+        " us in queue (never executed)")));
+  }
+  expired.clear();
 }
 
 void Server::worker_loop() {
   CompiledModel::Workspace ws;
   std::vector<Request> batch;
+  std::vector<Request> expired;
   std::vector<float> inputs, outputs;
-  const std::int64_t in_n = model_.input_numel();
-  const std::int64_t out_n = model_.output_numel();
   for (;;) {
     batch.clear();
+    bool exiting = false;
     {
       std::unique_lock lock(mu_);
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      // Micro-batching: drain what is already queued, then (unless stopping
-      // or full) linger up to max_wait_us past the first pop for stragglers.
-      const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::microseconds(config_.max_wait_us);
-      while (static_cast<int>(batch.size()) < config_.max_batch) {
-        if (!queue_.empty()) {
-          batch.push_back(std::move(queue_.front()));
+      // Pop the oldest LIVE request; expired ones are collected and failed
+      // outside the lock without ever executing.
+      while (batch.empty()) {
+        not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          exiting = true;  // stopping and fully drained
+          break;
+        }
+        const auto now = Clock::now();
+        while (!queue_.empty() && batch.empty()) {
+          if (queue_.front().deadline < now) {
+            expired.push_back(std::move(queue_.front()));
+          } else {
+            batch.push_back(std::move(queue_.front()));
+          }
           queue_.pop_front();
-          continue;
         }
-        if (stopping_ || config_.max_wait_us == 0) break;
-        if (not_empty_.wait_until(lock, deadline, [this] {
-              return stopping_ || !queue_.empty();
-            })) {
-          if (queue_.empty()) break;  // woke for shutdown
-          continue;
+        if (!expired.empty() && batch.empty()) break;  // go fail them, retry
+      }
+      if (!batch.empty()) {
+        // Micro-batching: drain what is already queued, then (unless
+        // stopping or full) linger up to max_wait_us past the first pop for
+        // stragglers. Deadline checks ride along on every pop.
+        const auto linger_until =
+            Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+        while (static_cast<int>(batch.size()) < config_.max_batch) {
+          if (!queue_.empty()) {
+            if (queue_.front().deadline < Clock::now()) {
+              expired.push_back(std::move(queue_.front()));
+            } else {
+              batch.push_back(std::move(queue_.front()));
+            }
+            queue_.pop_front();
+            continue;
+          }
+          if (stopping_ || config_.max_wait_us == 0) break;
+          if (not_empty_.wait_until(lock, linger_until, [this] {
+                return stopping_ || !queue_.empty();
+              })) {
+            if (queue_.empty()) break;  // woke for shutdown
+            continue;
+          }
+          break;  // window elapsed
         }
-        break;  // window elapsed
       }
     }
     not_full_.notify_all();
 
+    // Second deadline check at batch-formation time: the straggler window
+    // may have outlived some members' deadlines.
+    {
+      const auto now = Clock::now();
+      auto live_end = std::stable_partition(
+          batch.begin(), batch.end(),
+          [&](const Request& r) { return r.deadline >= now; });
+      for (auto it = live_end; it != batch.end(); ++it) {
+        expired.push_back(std::move(*it));
+      }
+      batch.erase(live_end, batch.end());
+    }
+    fail_expired(expired);
+    if (exiting) return;
+    if (batch.empty()) continue;
+
+    // Snapshot the model slot once per batch: a concurrent reload() swaps
+    // the slot for the NEXT batch; this one is answered wholly by the
+    // version snapshotted here.
+    std::shared_ptr<const CompiledModel> model;
+    {
+      std::lock_guard model_lock(model_mu_);
+      model = model_;
+    }
+
+    const std::int64_t in_n = model->input_numel();
+    const std::int64_t out_n = model->output_numel();
     const std::int64_t b = static_cast<std::int64_t>(batch.size());
     inputs.resize(static_cast<std::size_t>(b * in_n));
     outputs.resize(static_cast<std::size_t>(b * out_n));
@@ -114,29 +270,19 @@ void Server::worker_loop() {
     }
     std::exception_ptr err;
     try {
-      model_.run(inputs.data(), b, outputs.data(), ws);
+      if (failpoint::maybe_fail("server.worker.batch")) {
+        throw std::runtime_error(
+            "Server: worker forward failed (injected via failpoint "
+            "server.worker.batch)");
+      }
+      model->run(inputs.data(), b, outputs.data(), ws);
     } catch (...) {
       err = std::current_exception();
     }
 
     // Record stats BEFORE fulfilling the promises: a caller that observed a
     // resolved future must see its request already counted in stats().
-    const auto now = std::chrono::steady_clock::now();
-    {
-      std::lock_guard stats_lock(stats_mu_);
-      done_requests_ += static_cast<std::uint64_t>(b);
-      done_batches_ += 1;
-      for (const auto& req : batch) {
-        const double lat =
-            std::chrono::duration<double, std::micro>(now - req.enqueued).count();
-        if (latencies_us_.size() < kLatencyWindow) {
-          latencies_us_.push_back(lat);
-        } else {
-          latencies_us_[latency_cursor_] = lat;
-          latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-        }
-      }
-    }
+    record_completed(batch, Clock::now());
 
     if (err != nullptr) {
       for (auto& req : batch) req.promise.set_exception(err);
@@ -147,6 +293,56 @@ void Server::worker_loop() {
       }
     }
   }
+}
+
+void Server::record_completed(const std::vector<Request>& batch,
+                              Clock::time_point now) {
+  std::lock_guard stats_lock(stats_mu_);
+  done_requests_ += static_cast<std::uint64_t>(batch.size());
+  done_batches_ += 1;
+  for (const auto& req : batch) {
+    const double lat =
+        std::chrono::duration<double, std::micro>(now - req.enqueued).count();
+    if (latencies_us_.size() < kLatencyWindow) {
+      latencies_us_.push_back(lat);
+    } else {
+      latencies_us_[latency_cursor_] = lat;
+      latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+    }
+  }
+}
+
+void Server::reload(const std::string& checkpoint_path) {
+  // Load + freeze on THIS thread while the workers keep serving the old
+  // model; only the pointer swap at the end synchronizes with them.
+  const std::shared_ptr<const CompiledModel> live = model();
+  LoadedCheckpoint loaded = load_checkpoint(checkpoint_path);
+  auto next = std::make_shared<CompiledModel>(
+      CompiledModel::freeze(loaded.model, live->input_dims(), live->options()));
+  swap_model(std::move(next));
+}
+
+void Server::swap_model(std::shared_ptr<const CompiledModel> next) {
+  if (!next) throw std::invalid_argument("Server::swap_model: model must not be null");
+  if (next->input_numel() != input_numel_ || next->output_numel() != output_numel_) {
+    throw std::invalid_argument(
+        "Server::swap_model: replacement model maps " +
+        std::to_string(next->input_numel()) + " -> " +
+        std::to_string(next->output_numel()) + " features, live server maps " +
+        std::to_string(input_numel_) + " -> " + std::to_string(output_numel_) +
+        " (checkpoint from a different architecture?)");
+  }
+  {
+    std::lock_guard model_lock(model_mu_);
+    model_ = std::move(next);
+  }
+  std::lock_guard stats_lock(stats_mu_);
+  ++reloads_;
+}
+
+std::shared_ptr<const CompiledModel> Server::model() const {
+  std::lock_guard model_lock(model_mu_);
+  return model_;
 }
 
 void Server::shutdown() {
@@ -170,11 +366,16 @@ ServerStats Server::stats() const {
   ServerStats s;
   std::vector<double> lat;
   {
-    std::lock_guard lock(stats_mu_);
+    std::lock_guard stats_lock(stats_mu_);
     s.requests = done_requests_;
     s.batches = done_batches_;
+    s.rejected = rejected_;
+    s.shed = shed_;
+    s.deadline_misses = deadline_misses_;
+    s.reloads = reloads_;
     lat = latencies_us_;
   }
+  s.model_version = model()->frozen_param_version();
   if (s.batches > 0) {
     s.mean_batch_fill = static_cast<double>(s.requests) / static_cast<double>(s.batches);
   }

@@ -1,0 +1,136 @@
+// common/failpoint: the fault-injection registry every robustness test in
+// tests/test_server_robustness.cpp builds on. Covers the spec grammar,
+// firing budgets, kind filtering (truncate specs answer write_truncation,
+// everything else fires from maybe_fail), hit accounting, RAII scoping, and
+// ADEPT_FAILPOINTS environment activation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/failpoint.h"
+
+namespace {
+
+namespace fp = adept::failpoint;
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesDoNothing) {
+  EXPECT_FALSE(fp::maybe_fail("never.armed.site"));
+  EXPECT_FALSE(fp::write_truncation("never.armed.site").has_value());
+}
+
+TEST_F(FailpointTest, ThrowSpecThrowsInjected) {
+  fp::arm("t.throw", "throw");
+  EXPECT_TRUE(fp::any_armed());
+  try {
+    fp::maybe_fail("t.throw");
+    FAIL() << "expected Injected";
+  } catch (const fp::Injected& e) {
+    EXPECT_NE(std::string(e.what()).find("t.throw"), std::string::npos);
+  }
+  // Unlimited budget: still armed, fires again.
+  EXPECT_THROW(fp::maybe_fail("t.throw"), fp::Injected);
+  // Injected is a runtime_error, so production catch sites see a real error.
+  fp::disarm("t.throw");
+  EXPECT_FALSE(fp::maybe_fail("t.throw"));
+}
+
+TEST_F(FailpointTest, ErrorSpecReportsSimulatedFailure) {
+  fp::arm("t.error", "error");
+  EXPECT_TRUE(fp::maybe_fail("t.error"));
+  EXPECT_TRUE(fp::maybe_fail("t.error"));  // unlimited
+}
+
+TEST_F(FailpointTest, FiringBudgetDisarmsAfterNHits) {
+  fp::arm("t.budget", "2*error");
+  EXPECT_TRUE(fp::maybe_fail("t.budget"));
+  EXPECT_TRUE(fp::maybe_fail("t.budget"));
+  EXPECT_FALSE(fp::maybe_fail("t.budget"));  // budget exhausted -> disarmed
+  EXPECT_FALSE(fp::any_armed());
+}
+
+TEST_F(FailpointTest, StallSpecSleeps) {
+  fp::arm("t.stall", "stall(20000)");
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(fp::maybe_fail("t.stall"));  // stalls, then continues
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 15.0);  // sleep_for may overshoot, never (meaningfully) undershoot
+}
+
+TEST_F(FailpointTest, TruncateSpecOnlyAnswersWriteTruncation) {
+  fp::arm("t.trunc", "truncate(128)");
+  // maybe_fail must NOT fire (or consume) a truncate spec...
+  EXPECT_FALSE(fp::maybe_fail("t.trunc"));
+  // ...and write_truncation must not fire non-truncate specs.
+  fp::arm("t.throw2", "throw");
+  EXPECT_FALSE(fp::write_truncation("t.throw2").has_value());
+  // The truncate spec is still armed (maybe_fail consumed nothing).
+  const auto k = fp::write_truncation("t.trunc");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 128);
+}
+
+TEST_F(FailpointTest, BudgetedTruncateFiresOnce) {
+  fp::arm("t.trunc1", "1*truncate(7)");
+  ASSERT_TRUE(fp::write_truncation("t.trunc1").has_value());
+  EXPECT_FALSE(fp::write_truncation("t.trunc1").has_value());
+}
+
+TEST_F(FailpointTest, HitCountAccumulates) {
+  const std::uint64_t before = fp::hit_count("t.hits");
+  fp::arm("t.hits", "error");
+  (void)fp::maybe_fail("t.hits");
+  (void)fp::maybe_fail("t.hits");
+  EXPECT_EQ(fp::hit_count("t.hits"), before + 2);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowInvalidArgument) {
+  EXPECT_THROW(fp::arm("s", "bogus"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "stall(abc)"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "stall(-1)"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "truncate(-3)"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "0*throw"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "-2*throw"), std::invalid_argument);
+  EXPECT_THROW(fp::arm("s", "x*throw"), std::invalid_argument);
+  EXPECT_FALSE(fp::any_armed());  // failed arms must not half-arm anything
+}
+
+TEST_F(FailpointTest, ScopedArmsAndDisarms) {
+  {
+    fp::Scoped scoped("t.scoped", "error");
+    EXPECT_TRUE(fp::maybe_fail("t.scoped"));
+  }
+  EXPECT_FALSE(fp::maybe_fail("t.scoped"));
+}
+
+TEST_F(FailpointTest, EnvironmentActivation) {
+  ::setenv("ADEPT_FAILPOINTS", "env.a=2*error;env.b=truncate(9)", 1);
+  fp::reset_env_for_testing();
+  EXPECT_TRUE(fp::any_armed());
+  EXPECT_TRUE(fp::maybe_fail("env.a"));
+  const auto k = fp::write_truncation("env.b");
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, 9);
+  ::unsetenv("ADEPT_FAILPOINTS");
+  fp::disarm_all();
+  fp::reset_env_for_testing();  // next parse sees the unset variable
+  EXPECT_FALSE(fp::any_armed());
+}
+
+TEST_F(FailpointTest, ProgrammaticArmWinsOverEnvironment) {
+  fp::arm("env.c", "error");
+  ::setenv("ADEPT_FAILPOINTS", "env.c=throw", 1);
+  fp::reset_env_for_testing();
+  EXPECT_TRUE(fp::maybe_fail("env.c"));  // "error", not the env "throw"
+  ::unsetenv("ADEPT_FAILPOINTS");
+  fp::reset_env_for_testing();
+}
+
+}  // namespace
