@@ -634,6 +634,41 @@ void add_simd_level_records(adept::bench::JsonReport& report) {
                       });
   }
   {
+    // Double-precision photonics gemms (mesh-transfer chains, unitary
+    // legalization in photonics/linalg.cpp). The scalar level IS the
+    // pre-refactor zero-skipping blocked loop, bit for bit, so the
+    // `speedup_serial` of the avx records is exactly the win from folding
+    // these shapes onto the dispatched vec4d microkernels. Dense random
+    // operands keep the density probe on the dispatch path (permutation
+    // operands deliberately stay scalar).
+    const std::int64_t n = 96;
+    const std::size_t nn = static_cast<std::size_t>(n * n);
+    auto a = std::make_shared<std::vector<double>>(nn);
+    auto b = std::make_shared<std::vector<double>>(nn);
+    auto c = std::make_shared<std::vector<double>>(nn);
+    for (auto* v : {a.get(), b.get()}) {
+      for (auto& x : *v) x = rng.uniform(-1, 1);
+    }
+    add_level_records(report, "gemm_f64", static_cast<double>(n),
+                      2.0 * static_cast<double>(n) * n * n, [=] {
+                        be::gemm(be::Trans::N, be::Trans::N, n, n, n, 1.0,
+                                 a->data(), n, b->data(), n, 0.0, c->data(), n);
+                      });
+    auto za = std::make_shared<std::vector<std::complex<double>>>(nn);
+    auto zb = std::make_shared<std::vector<std::complex<double>>>(nn);
+    auto zc = std::make_shared<std::vector<std::complex<double>>>(nn);
+    for (auto* v : {za.get(), zb.get()}) {
+      for (auto& x : *v) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    }
+    add_level_records(
+        report, "zgemm_f64", static_cast<double>(n),
+        8.0 * static_cast<double>(n) * n * n, [=] {
+          be::gemm(be::Trans::N, be::Trans::T, n, n, n,
+                   std::complex<double>{1.0, 0.0}, za->data(), n, zb->data(),
+                   n, std::complex<double>{0.0, 0.0}, zc->data(), n);
+        });
+  }
+  {
     // Elementwise transcendentals: *_gflops fields are elements/s here.
     const std::int64_t n = 1 << 16;
     auto x = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));

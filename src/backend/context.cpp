@@ -1,0 +1,124 @@
+#include "backend/context.h"
+
+#include <new>
+
+#include "backend/parallel.h"
+#include "common/env.h"
+
+namespace adept::backend {
+
+const char* device_name(Device d) {
+  switch (d) {
+    case Device::cpu_serial:
+      return "serial";
+    case Device::cpu_threaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+Device parse_device(const std::string& name, Device def) {
+  if (name == "serial") return Device::cpu_serial;
+  if (name == "threaded") return Device::cpu_threaded;
+  return def;
+}
+
+Device default_device() {
+  // No static cache (unlike the ADEPT_SIMD resolver): freeze/server config
+  // construction is far off any hot path, and the re-read keeps the clamping
+  // testable with setenv.
+  return parse_device(adept::env_string("ADEPT_DEVICE", ""),
+                      Device::cpu_threaded);
+}
+
+void* ExecContext::alloc_workspace(std::size_t bytes) const {
+  if (bytes == 0) bytes = 1;
+  return ::operator new(bytes, std::align_val_t{64});
+}
+
+void ExecContext::free_workspace(void* p) const {
+  if (p != nullptr) ::operator delete(p, std::align_val_t{64});
+}
+
+namespace {
+
+// Both CPU contexts share one implementation: every entry point installs
+// this context's thread budget for the calling thread (LocalThreadScope)
+// and forwards to the kernel layer. budget 1 = serial, 0 = inherit the
+// normal resolution order. Chunk boundaries in the kernels depend only on
+// problem sizes, so the two budgets produce bit-identical results.
+class CpuContext final : public ExecContext {
+ public:
+  explicit CpuContext(Device d)
+      : device_(d), budget_(d == Device::cpu_serial ? 1 : 0) {}
+
+  Device device() const override { return device_; }
+
+  void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                   const float* a, std::int64_t lda, Trans tb, const float* b,
+                   std::int64_t ldb, const PackedGemmB& pb, float beta,
+                   float* c, std::int64_t ldc) const override {
+    LocalThreadScope scope(budget_);
+    backend::gemm_packed(m, n, k, alpha, a, lda, tb, b, ldb, pb, beta, c, ldc);
+  }
+
+  void gemm_s8_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int8_t* a, std::int64_t lda,
+                      const std::int8_t* b, std::int64_t ldb,
+                      const PackedGemmBS8& pb, std::int32_t* c,
+                      std::int64_t ldc) const override {
+    LocalThreadScope scope(budget_);
+    backend::gemm_s8_packed(m, n, k, a, lda, b, ldb, pb, c, ldc);
+  }
+
+  void im2col(const float* x, std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad,
+              float* out) const override {
+    LocalThreadScope scope(budget_);
+    backend::im2col(x, n, c, h, w, kh, kw, stride, pad, out);
+  }
+
+  void im2col_s8(const std::int8_t* x, std::int64_t n, std::int64_t c,
+                 std::int64_t h, std::int64_t w, std::int64_t kh,
+                 std::int64_t kw, std::int64_t stride, std::int64_t pad,
+                 std::int8_t* out) const override {
+    LocalThreadScope scope(budget_);
+    backend::im2col_s8(x, n, c, h, w, kh, kw, stride, pad, out);
+  }
+
+  float absmax(std::size_t n, const float* x) const override {
+    LocalThreadScope scope(budget_);
+    return backend::absmax(n, x);
+  }
+
+  void quantize_s8(std::size_t n, const float* x, float inv_scale,
+                   std::int8_t* out) const override {
+    LocalThreadScope scope(budget_);
+    backend::quantize_s8(n, x, inv_scale, out);
+  }
+
+  void for_each(std::int64_t n, std::int64_t grain,
+                const RangeFn& fn) const override {
+    LocalThreadScope scope(budget_);
+    parallel_for(n, grain, fn);
+  }
+
+ private:
+  Device device_;
+  int budget_;
+};
+
+}  // namespace
+
+const ExecContext& context_for(Device d) {
+  static const CpuContext serial{Device::cpu_serial};
+  static const CpuContext threaded{Device::cpu_threaded};
+  return d == Device::cpu_serial ? serial : threaded;
+}
+
+std::unique_ptr<ExecContext> make_context(Device d) {
+  return std::make_unique<CpuContext>(d);
+}
+
+}  // namespace adept::backend

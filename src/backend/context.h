@@ -1,0 +1,118 @@
+// Execution-context seam between compiled plans and the kernel layer.
+//
+// A `Device` names WHERE a plan step runs; an `ExecContext` is HOW — it
+// carries the kernel entry points the step executor needs, a workspace
+// allocator for buffers the kernels touch, and a `finish()` sync point.
+// The design follows caffe2's core/context.h and Hetu's CPUStream: callers
+// (runtime/compiled_model.cpp) never invoke `be::` free functions for plan
+// steps; they go through the context the step's device tag resolves to, so
+// an accelerator backend lands by adding a context, not by rewriting the
+// executor.
+//
+// Two CPU contexts prove the seam today:
+//   * cpu_serial   — every kernel launched from this context runs with a
+//                    thread budget of 1 (LocalThreadScope in parallel.h).
+//                    The cap is per-calling-thread, so one serial worker in
+//                    the serving pool never throttles its siblings.
+//   * cpu_threaded — kernels inherit the normal thread resolution order
+//                    (ADEPT_NUM_THREADS / set_num_threads / hardware).
+//
+// Determinism contract: every backend kernel partitions work with chunk
+// boundaries that are pure functions of the problem size (parallel.h), so
+// the serial and threaded contexts produce bit-identical results at every
+// SIMD level — tests/test_context.cpp ASSERT_EQs them. Both CPU contexts
+// are synchronous: kernels complete before the entry point returns, and
+// `finish()` is a no-op. An async device context would enqueue work in the
+// entry points and block in `finish()`; the step executor already calls it
+// at the spots such a context would need.
+//
+// Device selection: the `ADEPT_DEVICE` env knob (serial | threaded) picks
+// the default device for freeze/serving, following the ADEPT_SIMD pattern —
+// unknown names clamp to the threaded default, never error (common/env.h).
+// `default_device()` re-reads the environment on every call (no static
+// cache) so tests can exercise the clamping with setenv.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "backend/kernels.h"
+
+namespace adept::backend {
+
+enum class Device : std::uint8_t { cpu_serial = 0, cpu_threaded = 1 };
+inline constexpr int kDeviceCount = 2;
+
+// Display/env name for a device: "serial", "threaded".
+const char* device_name(Device d);
+
+// Parse an ADEPT_DEVICE-style name; unknown names return `def` (clamping,
+// never an error — mirrors parse_overload_policy / the ADEPT_SIMD parse).
+Device parse_device(const std::string& name, Device def);
+
+// The device the ADEPT_DEVICE environment selects (threaded when unset or
+// unrecognized). Deliberately not cached: re-reads the env each call.
+Device default_device();
+
+// Chunked range sweep the elementwise plan steps run through: fn(begin,
+// end) over disjoint subranges of [0, n), grain-capped chunks, boundaries a
+// pure function of (n, grain) — identical element math on every context.
+using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  virtual Device device() const = 0;
+  const char* name() const { return device_name(device()); }
+
+  // ---- kernel entry points (the surface CompiledModel::apply needs) ----
+  virtual void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                           float alpha, const float* a, std::int64_t lda,
+                           Trans tb, const float* b, std::int64_t ldb,
+                           const PackedGemmB& pb, float beta, float* c,
+                           std::int64_t ldc) const = 0;
+  virtual void gemm_s8_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                              const std::int8_t* a, std::int64_t lda,
+                              const std::int8_t* b, std::int64_t ldb,
+                              const PackedGemmBS8& pb, std::int32_t* c,
+                              std::int64_t ldc) const = 0;
+  virtual void im2col(const float* x, std::int64_t n, std::int64_t c,
+                      std::int64_t h, std::int64_t w, std::int64_t kh,
+                      std::int64_t kw, std::int64_t stride, std::int64_t pad,
+                      float* out) const = 0;
+  virtual void im2col_s8(const std::int8_t* x, std::int64_t n, std::int64_t c,
+                         std::int64_t h, std::int64_t w, std::int64_t kh,
+                         std::int64_t kw, std::int64_t stride,
+                         std::int64_t pad, std::int8_t* out) const = 0;
+  virtual float absmax(std::size_t n, const float* x) const = 0;
+  virtual void quantize_s8(std::size_t n, const float* x, float inv_scale,
+                           std::int8_t* out) const = 0;
+  virtual void for_each(std::int64_t n, std::int64_t grain,
+                        const RangeFn& fn) const = 0;
+
+  // ---- workspace allocation seam ----
+  // 64-byte-aligned buffer in the context's memory space (host memory for
+  // the CPU contexts; an accelerator context returns device memory, which
+  // is why kernel-visible scratch must come from here, not plain malloc).
+  virtual void* alloc_workspace(std::size_t bytes) const;
+  virtual void free_workspace(void* p) const;
+
+  // ---- synchronization point ----
+  // Blocks until every kernel launched through this context has completed.
+  // No-op for the synchronous CPU contexts.
+  virtual void finish() const {}
+};
+
+// Shared process-wide instance for a device (always valid; never freed).
+const ExecContext& context_for(Device d);
+
+// Owned instance, for holders that want per-worker contexts (the serving
+// pool): an async device context would carry per-instance queue/stream
+// state, so ownership — unlike the singletons — is already per-worker here.
+std::unique_ptr<ExecContext> make_context(Device d);
+
+}  // namespace adept::backend

@@ -121,6 +121,21 @@ struct KernelTable {
   float (*absmax_f32)(std::size_t n, const float* x);
   void (*quantize_s8)(std::size_t n, const float* x, float inv_scale,
                       std::int8_t* out);
+  // Double-precision photonics gemms (mesh-transfer chains, SVD
+  // legalization). kernels.cpp probes operand density before routing here:
+  // permutation-like operands stay on the zero-skipping scalar loops, dense
+  // ones take these 4-wide register-tiled drivers. zgemm_planar consumes
+  // split re/im planes; the complex<double> wrapper deinterleaves into
+  // arena scratch (alpha == 1, real beta — anything else stays scalar).
+  void (*gemm_f64)(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, double alpha, const double* a,
+                   std::int64_t lda, const double* b, std::int64_t ldb,
+                   double beta, double* c, std::int64_t ldc);
+  void (*zgemm_planar)(CTrans ta, CTrans tb, std::int64_t m, std::int64_t n,
+                       std::int64_t k, const double* ar, const double* ai,
+                       std::int64_t lda, const double* br, const double* bi,
+                       std::int64_t ldb, double beta, double* cr, double* ci,
+                       std::int64_t ldc);
 };
 
 // Active table for the current dispatch level; nullptr means scalar.

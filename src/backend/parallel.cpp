@@ -15,9 +15,13 @@ namespace adept::backend {
 
 namespace {
 std::atomic<int> g_override{0};
+// Per-thread cap installed by LocalThreadScope (execution contexts). Plain
+// (non-atomic) is fine: only the owning thread reads or writes it.
+thread_local int t_override = 0;
 }  // namespace
 
 int num_threads() {
+  if (t_override > 0) return t_override;
   const int forced = g_override.load(std::memory_order_relaxed);
   if (forced > 0) return forced;
   // The env/hardware default cannot change mid-process; resolve it once so
@@ -37,6 +41,11 @@ void set_num_threads(int n) {
 
 ThreadScope::ThreadScope(int n) : prev_(g_override.load()) { set_num_threads(n); }
 ThreadScope::~ThreadScope() { g_override.store(prev_); }
+
+LocalThreadScope::LocalThreadScope(int n) : prev_(t_override) {
+  t_override = n > 0 ? n : 0;
+}
+LocalThreadScope::~LocalThreadScope() { t_override = prev_; }
 
 namespace detail {
 

@@ -7,9 +7,10 @@
 // ADEPT_NUM_THREADS=1 produce identical bits, so tests stay deterministic.
 //
 // Thread count resolution order:
-//   1. set_num_threads(n) with n >= 1 (runtime override),
-//   2. the ADEPT_NUM_THREADS environment variable (see common/env.h),
-//   3. std::thread::hardware_concurrency().
+//   1. LocalThreadScope on the calling thread (per-thread cap, see below),
+//   2. set_num_threads(n) with n >= 1 (process-wide runtime override),
+//   3. the ADEPT_NUM_THREADS environment variable (see common/env.h),
+//   4. std::thread::hardware_concurrency().
 // A value of 1 short-circuits to a plain serial loop on the calling thread.
 #pragma once
 
@@ -32,6 +33,25 @@ class ThreadScope {
   ~ThreadScope();
   ThreadScope(const ThreadScope&) = delete;
   ThreadScope& operator=(const ThreadScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+// RAII scope that caps the thread count for kernels launched from the
+// CURRENT thread only. This is the execution-context seam's budget knob
+// (backend/context.h): a serial context driving kernels on one server worker
+// must not throttle kernels the other workers launch concurrently, which a
+// process-wide ThreadScope would. n <= 0 means "no cap" (inherit the global
+// resolution order). Takes precedence over set_num_threads()/ThreadScope for
+// this thread; worker threads spawned by the kernels themselves only execute
+// chunks handed to them, so the cap never needs to propagate.
+class LocalThreadScope {
+ public:
+  explicit LocalThreadScope(int n);
+  ~LocalThreadScope();
+  LocalThreadScope(const LocalThreadScope&) = delete;
+  LocalThreadScope& operator=(const LocalThreadScope&) = delete;
 
  private:
   int prev_;

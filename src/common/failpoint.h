@@ -34,6 +34,8 @@
 //   checkpoint.save.open / .write / .fsync / .rename   crash-safe save path
 //   checkpoint.load.read                               torn/short reads
 //   runtime.freeze                                     CompiledModel::freeze
+//   runtime.context.step                               CompiledModel::run's
+//                                                      context dispatch loop
 //   server.worker.batch                                before each forward
 #pragma once
 

@@ -74,18 +74,25 @@ std::vector<float> transposed(const std::vector<float>& w, std::int64_t out,
 // keeps quantized results independent of micro-batch composition — the
 // Server guarantee in runtime/server.h (a per-batch scale would make a
 // request's answer depend on its batch mates).
-void quantize_rows(std::int64_t rows, std::int64_t k, const float* x,
-                   float* scale, std::int8_t* out) {
-  be::for_each_index(
-      rows,
-      [&](std::int64_t i) {
-        const float* row = x + i * k;
-        const float amax = be::absmax(static_cast<std::size_t>(k), row);
-        scale[i] = amax / 127.0f;
-        be::quantize_s8(static_cast<std::size_t>(k), row,
-                        amax > 0.0f ? 127.0f / amax : 0.0f, out + i * k);
-      },
-      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(k, 1)));
+void quantize_rows(const be::ExecContext& ctx, std::int64_t rows,
+                   std::int64_t k, const float* x, float* scale,
+                   std::int8_t* out) {
+  // The row sweep parallelizes through the step's context; the per-row
+  // absmax/quantize kernels stay below their own parallel grain at these
+  // row widths, so no nested fan-out. Both kernels are exact (max is
+  // order-independent, the convert rounds like lrintf), so the quantized
+  // image is identical on every context.
+  ctx.for_each(
+      rows, std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(k, 1)),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* row = x + i * k;
+          const float amax = be::absmax(static_cast<std::size_t>(k), row);
+          scale[i] = amax / 127.0f;
+          be::quantize_s8(static_cast<std::size_t>(k), row,
+                          amax > 0.0f ? 127.0f / amax : 0.0f, out + i * k);
+        }
+      });
 }
 
 }  // namespace
@@ -267,6 +274,7 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
   if (options.quantize_int8) quantize_plan(cm.steps_);
   cm.slot_sizes_ =
       assign_slots(cm.steps_, options.optimize, cm.max_interm_numel_);
+  assign_devices(cm.steps_, options.device);
   pack_plan(cm.steps_);
   cm.options_ = options;
   cm.frozen_param_version_ = param_version();
@@ -282,16 +290,18 @@ bool CompiledModel::refresh(nn::OnnModel& model) {
   return true;
 }
 
-void CompiledModel::apply(const PlanStep& s, const float* src,
-                          std::int64_t batch, float* dst, Workspace& ws) const {
+void CompiledModel::apply(const PlanStep& s, const be::ExecContext& ctx,
+                          const float* src, std::int64_t batch, float* dst,
+                          Workspace& ws) const {
   switch (s.kind) {
     case PlanStep::Kind::linear: {
       if (s.quantized) {
         ws.ascale.resize(static_cast<std::size_t>(batch));
         ws.qa.resize(static_cast<std::size_t>(batch * s.in_feat));
         ws.qacc.resize(static_cast<std::size_t>(batch * s.out_feat));
-        quantize_rows(batch, s.in_feat, src, ws.ascale.data(), ws.qa.data());
-        be::gemm_s8_packed(batch, s.out_feat, s.in_feat, ws.qa.data(),
+        quantize_rows(ctx, batch, s.in_feat, src, ws.ascale.data(),
+                      ws.qa.data());
+        ctx.gemm_s8_packed(batch, s.out_feat, s.in_feat, ws.qa.data(),
                            s.in_feat, s.weight_s8.data(), s.out_feat,
                            s.packed_s8, ws.qacc.data(), s.out_feat);
         // Dequantize with the freeze-time folded constants (bias and any
@@ -312,7 +322,7 @@ void CompiledModel::apply(const PlanStep& s, const float* src,
       }
       // ag::matmul forward: one N/N gemm, alpha=1 beta=0 (weight panels
       // pre-packed at freeze; bit-identical either way).
-      be::gemm_packed(batch, s.out_feat, s.in_feat, 1.0f, src, s.in_feat,
+      ctx.gemm_packed(batch, s.out_feat, s.in_feat, 1.0f, src, s.in_feat,
                       be::Trans::N, s.weight.data(), s.out_feat, s.packed,
                       0.0f, dst, s.out_feat);
       const std::size_t n = static_cast<std::size_t>(batch * s.out_feat);
@@ -359,17 +369,17 @@ void CompiledModel::apply(const PlanStep& s, const float* src,
         const std::int64_t nblk = std::min(nb, batch - n0);
         const std::int64_t rows = nblk * ohow;
         if (s.quantized) {
-          quantize_rows(nblk, s.in_numel, src + n0 * s.in_numel,
+          quantize_rows(ctx, nblk, s.in_numel, src + n0 * s.in_numel,
                         ws.ascale.data(), ws.qsrc.data());
-          be::im2col_s8(ws.qsrc.data(), nblk, s.c, s.h, s.w, s.k, s.k,
+          ctx.im2col_s8(ws.qsrc.data(), nblk, s.c, s.h, s.w, s.k, s.k,
                         s.stride, s.pad, ws.qa.data());
-          be::gemm_s8_packed(rows, s.out_c, fan_in, ws.qa.data(), fan_in,
+          ctx.gemm_s8_packed(rows, s.out_c, fan_in, ws.qa.data(), fan_in,
                              s.weight_s8.data(), s.out_c, s.packed_s8,
                              ws.qacc.data(), s.out_c);
         } else {
-          be::im2col(src + n0 * s.in_numel, nblk, s.c, s.h, s.w, s.k, s.k,
+          ctx.im2col(src + n0 * s.in_numel, nblk, s.c, s.h, s.w, s.k, s.k,
                      s.stride, s.pad, ws.cols.data());
-          be::gemm_packed(rows, s.out_c, fan_in, 1.0f, ws.cols.data(), fan_in,
+          ctx.gemm_packed(rows, s.out_c, fan_in, 1.0f, ws.cols.data(), fan_in,
                           be::Trans::N, s.weight.data(), s.out_c, s.packed,
                           0.0f, ws.rows.data(), s.out_c);
         }
@@ -422,76 +432,85 @@ void CompiledModel::apply(const PlanStep& s, const float* src,
       // ops.cpp eval path: y = ((x - mu) * invstd) * gamma + beta. Pure
       // elementwise, so in-place execution (src == dst) is safe.
       const std::int64_t plane = s.h * s.w;
-      be::for_each_index(
+      ctx.for_each(
           batch * s.c,
-          [&, plane](std::int64_t slice) {
-            const std::int64_t ci = slice % s.c;
-            const float mu = s.mu[static_cast<std::size_t>(ci)];
-            const float is = s.invstd[static_cast<std::size_t>(ci)];
-            const float g = s.gamma[static_cast<std::size_t>(ci)];
-            const float b = s.beta[static_cast<std::size_t>(ci)];
-            const float* xb = src + slice * plane;
-            float* ob = dst + slice * plane;
-            for (std::int64_t i = 0; i < plane; ++i) {
-              const float v = (xb[i] - mu) * is * g + b;
-              ob[i] = !s.relu_after || v > 0.0f ? v : 0.0f;
+          std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)),
+          [&, plane](std::int64_t s0, std::int64_t s1) {
+            for (std::int64_t slice = s0; slice < s1; ++slice) {
+              const std::int64_t ci = slice % s.c;
+              const float mu = s.mu[static_cast<std::size_t>(ci)];
+              const float is = s.invstd[static_cast<std::size_t>(ci)];
+              const float g = s.gamma[static_cast<std::size_t>(ci)];
+              const float b = s.beta[static_cast<std::size_t>(ci)];
+              const float* xb = src + slice * plane;
+              float* ob = dst + slice * plane;
+              for (std::int64_t i = 0; i < plane; ++i) {
+                const float v = (xb[i] - mu) * is * g + b;
+                ob[i] = !s.relu_after || v > 0.0f ? v : 0.0f;
+              }
             }
-          },
-          std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(plane, 1)));
+          });
       break;
     }
     case PlanStep::Kind::relu: {
-      be::map(static_cast<std::size_t>(batch * s.in_numel), src, dst,
-              [](float x) { return x > 0.0f ? x : 0.0f; });
+      const std::int64_t n = batch * s.in_numel;
+      ctx.for_each(n, be::detail::kElemGrain,
+                   [&](std::int64_t i0, std::int64_t i1) {
+                     for (std::int64_t i = i0; i < i1; ++i) {
+                       dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+                     }
+                   });
       break;
     }
     case PlanStep::Kind::maxpool: {
-      be::for_each_index(
-          batch * s.c,
-          [&](std::int64_t slice) {
-            const float* xplane = src + slice * s.h * s.w;
-            for (std::int64_t yo = 0; yo < s.oh; ++yo) {
-              for (std::int64_t xo = 0; xo < s.ow; ++xo) {
-                float best = -std::numeric_limits<float>::infinity();
-                for (std::int64_t ky = 0; ky < s.k; ++ky) {
-                  for (std::int64_t kx = 0; kx < s.k; ++kx) {
-                    const std::int64_t yi = yo * s.stride + ky;
-                    const std::int64_t xi = xo * s.stride + kx;
-                    const float v = xplane[yi * s.w + xi];
-                    if (v > best) best = v;
+      ctx.for_each(
+          batch * s.c, /*grain=*/1,
+          [&](std::int64_t s0, std::int64_t s1) {
+            for (std::int64_t slice = s0; slice < s1; ++slice) {
+              const float* xplane = src + slice * s.h * s.w;
+              for (std::int64_t yo = 0; yo < s.oh; ++yo) {
+                for (std::int64_t xo = 0; xo < s.ow; ++xo) {
+                  float best = -std::numeric_limits<float>::infinity();
+                  for (std::int64_t ky = 0; ky < s.k; ++ky) {
+                    for (std::int64_t kx = 0; kx < s.k; ++kx) {
+                      const std::int64_t yi = yo * s.stride + ky;
+                      const std::int64_t xi = xo * s.stride + kx;
+                      const float v = xplane[yi * s.w + xi];
+                      if (v > best) best = v;
+                    }
                   }
+                  dst[(slice * s.oh + yo) * s.ow + xo] = best;
                 }
-                dst[(slice * s.oh + yo) * s.ow + xo] = best;
               }
             }
-          },
-          /*grain=*/1);
+          });
       break;
     }
     case PlanStep::Kind::avgpool: {
-      be::for_each_index(
-          batch * s.c,
-          [&](std::int64_t slice) {
-            const float* xplane = src + slice * s.h * s.w;
-            float* oplane = dst + slice * s.oh * s.ow;
-            for (std::int64_t yo = 0; yo < s.oh; ++yo) {
-              const std::int64_t y0 = ag::pool_bin_start(yo, s.h, s.oh);
-              const std::int64_t y1 = ag::pool_bin_end(yo, s.h, s.oh);
-              for (std::int64_t xo = 0; xo < s.ow; ++xo) {
-                const std::int64_t x0 = ag::pool_bin_start(xo, s.w, s.ow);
-                const std::int64_t x1 = ag::pool_bin_end(xo, s.w, s.ow);
-                double acc = 0.0;
-                for (std::int64_t yi = y0; yi < y1; ++yi) {
-                  for (std::int64_t xi = x0; xi < x1; ++xi) {
-                    acc += xplane[yi * s.w + xi];
+      ctx.for_each(
+          batch * s.c, /*grain=*/1,
+          [&](std::int64_t s0, std::int64_t s1) {
+            for (std::int64_t slice = s0; slice < s1; ++slice) {
+              const float* xplane = src + slice * s.h * s.w;
+              float* oplane = dst + slice * s.oh * s.ow;
+              for (std::int64_t yo = 0; yo < s.oh; ++yo) {
+                const std::int64_t y0 = ag::pool_bin_start(yo, s.h, s.oh);
+                const std::int64_t y1 = ag::pool_bin_end(yo, s.h, s.oh);
+                for (std::int64_t xo = 0; xo < s.ow; ++xo) {
+                  const std::int64_t x0 = ag::pool_bin_start(xo, s.w, s.ow);
+                  const std::int64_t x1 = ag::pool_bin_end(xo, s.w, s.ow);
+                  double acc = 0.0;
+                  for (std::int64_t yi = y0; yi < y1; ++yi) {
+                    for (std::int64_t xi = x0; xi < x1; ++xi) {
+                      acc += xplane[yi * s.w + xi];
+                    }
                   }
+                  oplane[yo * s.ow + xo] = static_cast<float>(
+                      acc / static_cast<double>((y1 - y0) * (x1 - x0)));
                 }
-                oplane[yo * s.ow + xo] = static_cast<float>(
-                    acc / static_cast<double>((y1 - y0) * (x1 - x0)));
               }
             }
-          },
-          /*grain=*/1);
+          });
       break;
     }
   }
@@ -507,6 +526,18 @@ void CompiledModel::run(const float* input, std::int64_t batch, float* output,
   const float* src = input;
   for (std::size_t si = 0; si < steps_.size(); ++si) {
     const PlanStep& s = steps_[si];
+    // Device-plan routing: each step executes through the context its tag
+    // names — a worker-owned context installed in the workspace, or the
+    // process-wide singleton. The seam the dispatch loop guards is the one
+    // failure-injection covers: a context that cannot launch a step must
+    // surface as an exception here, not as silent garbage downstream.
+    const be::ExecContext* ctx =
+        ws.contexts[static_cast<std::size_t>(s.device)];
+    if (ctx == nullptr) ctx = &be::context_for(s.device);
+    if (failpoint::maybe_fail("runtime.context.step")) {
+      fail("step " + std::to_string(si) + " (" + ctx->name() +
+           " context) failed (injected via failpoint runtime.context.step)");
+    }
     float* dst = s.out_slot < 0
                      ? output
                      : ws.slots[static_cast<std::size_t>(s.out_slot)].data();
@@ -529,7 +560,8 @@ void CompiledModel::run(const float* input, std::int64_t batch, float* output,
       static thread_local std::vector<double> best;
       if (best.size() < steps_.size()) best.resize(steps_.size(), 1e300);
       const auto t0 = std::chrono::steady_clock::now();
-      apply(s, src, batch, dst, ws);
+      apply(s, *ctx, src, batch, dst, ws);
+      ctx->finish();
       const double us = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -545,7 +577,12 @@ void CompiledModel::run(const float* input, std::int64_t batch, float* output,
       }
     }
 #else
-    apply(s, src, batch, dst, ws);
+    apply(s, *ctx, src, batch, dst, ws);
+    // Synchronization point: the next step (or the caller) reads this
+    // step's output, so the context must have retired it. Free for the CPU
+    // contexts (kernels are synchronous); an async device context would
+    // drain its stream here.
+    ctx->finish();
 #endif
     src = dst;
   }

@@ -1,0 +1,354 @@
+// backend/context.h + the device-plan seam in runtime/plan.h and
+// CompiledModel::run.
+//
+// The contract under test: the serial and threaded CPU execution contexts
+// are ASSERT_EQ-bit-identical — for fp32 plans at every SIMD dispatch
+// level and batch size, and for the opt-in int8 mode (whose integer
+// kernels carry their own cross-thread exactness promise). That holds by
+// construction (kernel chunk boundaries are pure functions of problem
+// size, never thread count), and this file is the regression fence around
+// the construction. Also covered: the ADEPT_DEVICE knob's clamp-to-default
+// behavior, device tags in the plan dump, workspace-installed per-worker
+// contexts, and error propagation out of the context dispatch loop via the
+// runtime.context.step failpoint — standalone run() and through a serving
+// worker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "backend/context.h"
+#include "backend/dispatch.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/models.h"
+#include "photonics/builders.h"
+#include "runtime/compiled_model.h"
+#include "runtime/server.h"
+
+namespace {
+
+namespace be = adept::backend;
+namespace ph = adept::photonics;
+namespace nn = adept::nn;
+namespace rt = adept::runtime;
+using adept::Rng;
+
+std::vector<float> random_input(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// ONN MLP with odd widths (17 -> 9 -> 4) so gemm tails are in play.
+nn::OnnModel make_mlp(std::uint64_t seed) {
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(4));
+  Rng rng(seed);
+  nn::OnnModel model;
+  model.net = std::make_shared<nn::Sequential>();
+  auto l1 =
+      std::make_shared<nn::ONNLinear>(17, 9, nn::PtcBinding::fixed(topo), rng);
+  auto l2 = std::make_shared<nn::ONNLinear>(9, 4, nn::PtcBinding::dense(), rng);
+  model.net->add(l1);
+  model.net->add(std::make_shared<nn::ReLU>());
+  model.net->add(l2);
+  model.onn_layers = {l1.get(), l2.get()};
+  return model;
+}
+
+// LeNet-5 exercises every step kind the plan knows: conv (+bias +relu),
+// maxpool, linear, avgpool-free tail — the full dispatch-loop surface.
+nn::OnnModel make_lenet(std::uint64_t seed) {
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(8));
+  Rng rng(seed);
+  return nn::make_lenet5(1, 16, 4, nn::PtcBinding::fixed(topo), rng, 0.5);
+}
+
+rt::CompiledModel freeze_on(nn::OnnModel& model, std::vector<std::int64_t> dims,
+                            be::Device device, bool quantize = false) {
+  rt::FreezeOptions o;
+  o.device = device;
+  o.quantize_int8 = quantize;
+  return rt::CompiledModel::freeze(model, std::move(dims), o);
+}
+
+void expect_bit_identical(const std::vector<float>& a,
+                          const std::vector<float>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+  }
+}
+
+// RAII env override that restores the previous value (other suites read
+// ADEPT_* knobs too).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) prev_ = prev;
+    had_prev_ = prev != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_prev_) {
+      ::setenv(name_, prev_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  std::string prev_;
+  bool had_prev_ = false;
+};
+
+// ---- serial vs threaded bit-exactness -------------------------------------
+
+TEST(ContextParity, SerialThreadedBitIdenticalAcrossSimdLevels) {
+  nn::OnnModel mlp = make_mlp(7);
+  nn::OnnModel lenet = make_lenet(19);
+  rt::CompiledModel mlp_s = freeze_on(mlp, {17}, be::Device::cpu_serial);
+  rt::CompiledModel mlp_t = freeze_on(mlp, {17}, be::Device::cpu_threaded);
+  rt::CompiledModel net_s =
+      freeze_on(lenet, {1, 16, 16}, be::Device::cpu_serial);
+  rt::CompiledModel net_t =
+      freeze_on(lenet, {1, 16, 16}, be::Device::cpu_threaded);
+  Rng rng(3);
+  for (be::SimdLevel level : be::available_simd_levels()) {
+    be::SimdScope scope(level);
+    for (std::int64_t batch : {1, 3, 16}) {
+      const std::string tag = std::string("level ") +
+                              be::simd_level_name(level) + " batch " +
+                              std::to_string(batch);
+      const std::vector<float> xm = random_input(batch * 17, rng);
+      expect_bit_identical(mlp_s.run(xm, batch), mlp_t.run(xm, batch),
+                           "mlp " + tag);
+      const std::vector<float> xl = random_input(batch * 256, rng);
+      expect_bit_identical(net_s.run(xl, batch), net_t.run(xl, batch),
+                           "lenet " + tag);
+    }
+  }
+}
+
+TEST(ContextParity, SerialThreadedBitIdenticalInt8) {
+  nn::OnnModel model = make_lenet(23);
+  rt::CompiledModel qs =
+      freeze_on(model, {1, 16, 16}, be::Device::cpu_serial, /*quantize=*/true);
+  rt::CompiledModel qt = freeze_on(model, {1, 16, 16},
+                                   be::Device::cpu_threaded, /*quantize=*/true);
+  Rng rng(5);
+  for (be::SimdLevel level : be::available_simd_levels()) {
+    be::SimdScope scope(level);
+    for (std::int64_t batch : {1, 5, 16}) {
+      const std::vector<float> x = random_input(batch * 256, rng);
+      expect_bit_identical(
+          qs.run(x, batch), qt.run(x, batch),
+          std::string("int8 level ") + be::simd_level_name(level) + " batch " +
+              std::to_string(batch));
+    }
+  }
+}
+
+// A workspace-installed context (the Server's per-worker shape) must route
+// identically to the process-wide singleton fallback.
+TEST(ContextParity, WorkspaceInstalledContextsMatchSingletons) {
+  nn::OnnModel model = make_lenet(29);
+  rt::CompiledModel cm =
+      freeze_on(model, {1, 16, 16}, be::Device::cpu_threaded);
+  Rng rng(7);
+  const std::int64_t batch = 4;
+  const std::vector<float> x = random_input(batch * 256, rng);
+  const std::vector<float> ref = cm.run(x, batch);
+
+  rt::CompiledModel::Workspace ws;
+  std::unique_ptr<be::ExecContext> ctxs[be::kDeviceCount];
+  for (int d = 0; d < be::kDeviceCount; ++d) {
+    ctxs[d] = be::make_context(static_cast<be::Device>(d));
+    ws.contexts[d] = ctxs[d].get();
+  }
+  std::vector<float> out(ref.size());
+  cm.run(x.data(), batch, out.data(), ws);
+  expect_bit_identical(ref, out, "owned contexts");
+}
+
+// ---- ADEPT_DEVICE knob ----------------------------------------------------
+
+TEST(ContextKnob, ParseClampsUnknownToDefault) {
+  EXPECT_EQ(be::parse_device("serial", be::Device::cpu_threaded),
+            be::Device::cpu_serial);
+  EXPECT_EQ(be::parse_device("threaded", be::Device::cpu_serial),
+            be::Device::cpu_threaded);
+  // Unknown names clamp to the default, never error (the ADEPT_SIMD rule).
+  EXPECT_EQ(be::parse_device("cuda", be::Device::cpu_threaded),
+            be::Device::cpu_threaded);
+  EXPECT_EQ(be::parse_device("", be::Device::cpu_threaded),
+            be::Device::cpu_threaded);
+  EXPECT_EQ(be::parse_device("SERIAL", be::Device::cpu_threaded),
+            be::Device::cpu_threaded);
+}
+
+TEST(ContextKnob, EnvSelectsDefaultDeviceAndClampsGarbage) {
+  {
+    EnvGuard env("ADEPT_DEVICE", "serial");
+    EXPECT_EQ(be::default_device(), be::Device::cpu_serial);
+    EXPECT_EQ(rt::FreezeOptions::from_env().device, be::Device::cpu_serial);
+    EXPECT_EQ(rt::ServerConfig::from_env().device, be::Device::cpu_serial);
+  }
+  {
+    EnvGuard env("ADEPT_DEVICE", "threaded");
+    EXPECT_EQ(be::default_device(), be::Device::cpu_threaded);
+  }
+  {
+    EnvGuard env("ADEPT_DEVICE", "gpu7");
+    EXPECT_EQ(be::default_device(), be::Device::cpu_threaded);
+    EXPECT_EQ(rt::FreezeOptions::from_env().device, be::Device::cpu_threaded);
+  }
+  {
+    EnvGuard env("ADEPT_DEVICE", nullptr);
+    EXPECT_EQ(be::default_device(), be::Device::cpu_threaded);
+  }
+}
+
+TEST(ContextKnob, DeviceNamesRoundTrip) {
+  for (int d = 0; d < be::kDeviceCount; ++d) {
+    const be::Device dev = static_cast<be::Device>(d);
+    EXPECT_EQ(be::parse_device(be::device_name(dev), be::Device::cpu_threaded),
+              dev);
+  }
+}
+
+// ---- plan dump device tags ------------------------------------------------
+
+TEST(ContextDump, PlanListsPerStepDeviceTags) {
+  nn::OnnModel model = make_mlp(11);
+  for (be::Device dev : {be::Device::cpu_serial, be::Device::cpu_threaded}) {
+    rt::CompiledModel cm = freeze_on(model, {17}, dev);
+    std::ostringstream os;
+    cm.dump_plan(os);
+    const std::string dump = os.str();
+    const std::string tag = std::string("@") + be::device_name(dev);
+    // Every step line and every slot in the pool summary carries the tag.
+    std::size_t count = 0;
+    for (std::size_t pos = dump.find(tag); pos != std::string::npos;
+         pos = dump.find(tag, pos + 1)) {
+      ++count;
+    }
+    EXPECT_GE(count, cm.num_steps() + cm.num_slots()) << dump;
+    const char* other = dev == be::Device::cpu_serial ? "@threaded" : "@serial";
+    EXPECT_EQ(dump.find(other), std::string::npos) << dump;
+  }
+}
+
+// ---- error propagation out of the dispatch loop ---------------------------
+
+TEST(ContextFailpoint, StepFailureThrowsFromRun) {
+  nn::OnnModel model = make_mlp(13);
+  rt::CompiledModel cm = freeze_on(model, {17}, be::Device::cpu_threaded);
+  Rng rng(17);
+  const std::vector<float> x = random_input(17, rng);
+  const std::uint64_t before = adept::failpoint::hit_count("runtime.context.step");
+  {
+    adept::failpoint::Scoped fp("runtime.context.step", "throw");
+    EXPECT_THROW(cm.run(x, 1), adept::failpoint::Injected);
+  }
+  EXPECT_GT(adept::failpoint::hit_count("runtime.context.step"), before);
+  // Disarmed, the same plan serves normally again.
+  EXPECT_EQ(cm.run(x, 1).size(), 4u);
+}
+
+TEST(ContextFailpoint, StepErrorSpecRunsTheSitesOwnErrorPath) {
+  nn::OnnModel model = make_mlp(31);
+  rt::CompiledModel cm = freeze_on(model, {17}, be::Device::cpu_serial);
+  Rng rng(37);
+  const std::vector<float> x = random_input(17, rng);
+  adept::failpoint::Scoped fp("runtime.context.step", "error");
+  // "error" makes maybe_fail return true: the dispatch loop maps that onto
+  // its own failure handling, a std::runtime_error naming the context.
+  try {
+    cm.run(x, 1);
+    FAIL() << "expected the context dispatch loop to fail";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("runtime.context.step"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("serial"), std::string::npos) << msg;
+  }
+}
+
+TEST(ContextFailpoint, StepFailureSurfacesThroughServingFuture) {
+  nn::OnnModel model = make_mlp(41);
+  rt::CompiledModel cm = freeze_on(model, {17}, be::Device::cpu_threaded);
+  rt::ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 0;
+  rt::Server server(cm, cfg);
+  Rng rng(43);
+  {
+    adept::failpoint::Scoped fp("runtime.context.step", "throw");
+    auto fut = server.submit(random_input(17, rng));
+    EXPECT_THROW(fut.get(), adept::failpoint::Injected);
+  }
+  // The worker survives an injected step failure: the next request is
+  // answered normally by the same (sole) worker.
+  auto ok = server.submit(random_input(17, rng));
+  EXPECT_EQ(ok.get().size(), 4u);
+}
+
+// ---- context plumbing details ---------------------------------------------
+
+TEST(ContextPlumbing, WorkspaceAllocIsAlignedAndReleases) {
+  for (int d = 0; d < be::kDeviceCount; ++d) {
+    const be::ExecContext& ctx = be::context_for(static_cast<be::Device>(d));
+    void* p = ctx.alloc_workspace(1000);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    ctx.free_workspace(p);
+    void* z = ctx.alloc_workspace(0);  // zero-byte asks still return memory
+    ASSERT_NE(z, nullptr);
+    ctx.free_workspace(z);
+    ctx.free_workspace(nullptr);  // null is a no-op, like free()
+    ctx.finish();                 // synchronous contexts: trivially complete
+  }
+}
+
+TEST(ContextPlumbing, SingletonsReportTheirDevice) {
+  EXPECT_EQ(be::context_for(be::Device::cpu_serial).device(),
+            be::Device::cpu_serial);
+  EXPECT_EQ(be::context_for(be::Device::cpu_threaded).device(),
+            be::Device::cpu_threaded);
+  EXPECT_STREQ(be::context_for(be::Device::cpu_serial).name(), "serial");
+  EXPECT_STREQ(be::context_for(be::Device::cpu_threaded).name(), "threaded");
+  auto owned = be::make_context(be::Device::cpu_serial);
+  EXPECT_EQ(owned->device(), be::Device::cpu_serial);
+}
+
+TEST(ContextPlumbing, ForEachCoversEveryIndexExactlyOnce) {
+  for (int d = 0; d < be::kDeviceCount; ++d) {
+    const be::ExecContext& ctx = be::context_for(static_cast<be::Device>(d));
+    const std::int64_t n = 10'007;  // prime, so chunks never divide evenly
+    std::vector<std::int32_t> hits(static_cast<std::size_t>(n), 0);
+    ctx.for_each(n, 64, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        hits[static_cast<std::size_t>(i)] += 1;
+      }
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+    }
+  }
+}
+
+}  // namespace
