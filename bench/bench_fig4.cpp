@@ -62,6 +62,24 @@ int run_json_report(const std::string& path) {
                {"epochs", static_cast<double>(scale.search_epochs)},
                {"footprint", searched.topology.footprint_um2(pdk) / 1000.0}}});
 
+  // Data-parallel trajectory: the same search at explicit rank counts. The
+  // sharded numerics are bit-identical across ranks, so wall_s is the only
+  // thing that moves; the speedup is hardware-bound (ranks timeslice on
+  // fewer cores — see bench/README.md).
+  for (int r : {1, 2, 4}) {
+    adept::core::SearchResult res;
+    const double s = adept::bench::time_once([&] {
+      res = adept::bench::run_search(k, pdk, 672, 840, scale, train, val, 71,
+                                     /*max_super_blocks=*/10, /*ranks=*/r);
+    });
+    report.add({"search_r" + std::to_string(r),
+                {{"size", static_cast<double>(k)},
+                 {"wall_s", s},
+                 {"ranks", static_cast<double>(r)},
+                 {"epochs", static_cast<double>(scale.search_epochs)},
+                 {"footprint", res.topology.footprint_um2(pdk) / 1000.0}}});
+  }
+
   auto topo = std::make_shared<ph::PtcTopology>(searched.topology);
   adept::Rng rng(91);
   nn::OnnModel model = nn::make_proxy_cnn(1, spec.height, 10,

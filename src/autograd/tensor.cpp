@@ -136,6 +136,16 @@ void Tensor::backward(const std::vector<float>* seed_grad) const {
   }
   std::vector<TensorImpl*> order;
   topo_sort(impl_.get(), order);
+  // Op nodes keep no gradient state across backward calls: when several
+  // losses share subexpressions (the SuperMesh step state is reused by every
+  // micro-shard forward within a step), a stale intermediate grad from an
+  // earlier backward would be re-propagated into the leaves. Leaves are NOT
+  // cleared — they accumulate until the caller zeroes them.
+  for (TensorImpl* node : order) {
+    if (node->backward_fn && !node->grad.empty() && node != impl_.get()) {
+      node->grad.assign(node->grad.size(), 0.0f);
+    }
+  }
   // Post-order puts the root last; walk in reverse (root first).
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     TensorImpl* node = *it;

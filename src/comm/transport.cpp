@@ -1,0 +1,82 @@
+#include "comm/transport.h"
+
+#include <cstring>
+
+namespace adept::comm {
+
+// Not in an anonymous namespace: InProcessGroup's friend declaration names
+// adept::comm::InProcessTransport.
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(InProcessGroup* group, int rank)
+      : group_(group), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int world_size() const override { return group_->world_size(); }
+
+  void publish(const void* data, std::size_t bytes) override {
+    group_->windows_[static_cast<std::size_t>(rank_)] = {data, bytes};
+    // Publication is complete only once every rank has written its slot:
+    // the barrier doubles as the release/acquire edge that makes the slot
+    // table (and the published payloads) visible across rank threads.
+    group_->barrier_wait();
+  }
+
+  const void* peer_window(int peer, std::size_t offset, std::size_t len,
+                          void* scratch) override {
+    (void)scratch;  // same address space: expose the peer's buffer directly
+    const auto& w = group_->windows_[static_cast<std::size_t>(peer)];
+    if (w.data == nullptr || offset + len > w.bytes) {
+      throw std::runtime_error("comm: peer_window read outside published window");
+    }
+    return static_cast<const unsigned char*>(w.data) + offset;
+  }
+
+  void release() override {
+    // All ranks stop reading before any publisher reuses its buffer.
+    group_->barrier_wait();
+    group_->windows_[static_cast<std::size_t>(rank_)] = {};
+  }
+
+  void barrier() override { group_->barrier_wait(); }
+
+  void abort() override { group_->abort(); }
+
+ private:
+  InProcessGroup* group_;
+  int rank_;
+};
+
+InProcessGroup::InProcessGroup(int world_size) : world_(world_size) {
+  if (world_ < 1) throw std::invalid_argument("InProcessGroup: world_size < 1");
+  windows_.resize(static_cast<std::size_t>(world_));
+}
+
+std::unique_ptr<Transport> InProcessGroup::transport(int rank) {
+  if (rank < 0 || rank >= world_) {
+    throw std::invalid_argument("InProcessGroup: rank out of range");
+  }
+  return std::make_unique<InProcessTransport>(this, rank);
+}
+
+void InProcessGroup::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+void InProcessGroup::barrier_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) throw AbortedError();
+  if (++arrived_ == world_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  cv_.wait(lock, [&] { return generation_ != gen || poisoned_; });
+  if (generation_ == gen && poisoned_) throw AbortedError();
+}
+
+}  // namespace adept::comm

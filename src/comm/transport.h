@@ -1,0 +1,97 @@
+// Transport seam under the collective layer (comm/communicator.h).
+//
+// A Transport owns the rank identity and the byte movement between ranks;
+// the Communicator on top of it owns the *arithmetic* (chunking, reduction
+// order). The split is what lets a socket or MPI transport slot in later
+// without touching the bit-exactness guarantees: every reduction is computed
+// from the bytes a window exposes, never from "whoever got there first"
+// accumulation (shape per caffe2's data_parallel_model and Hetu's
+// Communication.cc, as distilled in ROADMAP.md).
+//
+// The model is a one-sided publish/read window:
+//
+//   publish(data, bytes)   make `bytes` at `data` visible to every peer;
+//                          returns once ALL ranks have published (barrier)
+//   peer_window(r, off, len, scratch)
+//                          pointer to `len` bytes at offset `off` of rank
+//                          r's published window. Transports that must copy
+//                          (sockets) stage into `scratch` (>= len bytes) and
+//                          return it; the in-process transport returns the
+//                          peer's buffer directly, so callers must treat the
+//                          result as read-only and not cache it past
+//                          release().
+//   release()              barrier; afterwards no peer reads the window and
+//                          the publisher may reuse the buffer
+//   barrier()              plain synchronization point
+//   abort()                poison every barrier: all ranks blocked in (or
+//                          later entering) one unblock by throwing
+//                          AbortedError, so a rank that dies mid-collective
+//                          cannot deadlock the world
+//
+// The in-process implementation (InProcessGroup) backs N rank threads in one
+// address space: a shared pointer-slot table plus a generation-counted,
+// poisonable barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace adept::comm {
+
+// Thrown out of any barrier-shaped call after abort(): the collective cannot
+// complete because a peer gave up. Derives from std::runtime_error so generic
+// catch sites treat it like any other collective failure.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("comm: collective aborted by a peer rank") {}
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual int rank() const = 0;
+  virtual int world_size() const = 0;
+  virtual void publish(const void* data, std::size_t bytes) = 0;
+  virtual const void* peer_window(int peer, std::size_t offset, std::size_t len,
+                                  void* scratch) = 0;
+  virtual void release() = 0;
+  virtual void barrier() = 0;
+  virtual void abort() = 0;
+};
+
+// Shared state for `world_size` in-process ranks. Create one group, then hand
+// each rank thread its own transport(r); the group must outlive them.
+class InProcessGroup {
+ public:
+  explicit InProcessGroup(int world_size);
+
+  int world_size() const { return world_; }
+  std::unique_ptr<Transport> transport(int rank);
+
+  // Poison the shared barrier (see Transport::abort).
+  void abort();
+
+ private:
+  friend class InProcessTransport;
+
+  struct Window {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  void barrier_wait();
+
+  int world_;
+  std::vector<Window> windows_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace adept::comm

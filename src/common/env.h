@@ -21,6 +21,18 @@
 //                       kernel launch to one thread without touching the
 //                       global ADEPT_NUM_THREADS, the right shape when an
 //                       outer pool (the serving workers) owns the cores.
+//   ADEPT_RANKS         data-parallel rank count for search/training entry
+//                       points (default 1; see comm/communicator.h
+//                       resolve_ranks). Clamped to [1, hardware ranks]
+//                       where hardware ranks = min(hardware concurrency, 8),
+//                       then rounded down to a power of two; unset, unknown,
+//                       or unparsable values fall back to 1, never error.
+//                       N-rank results are ASSERT_EQ bit-identical to 1-rank
+//                       at every thread count (tests/test_comm.cpp) — the
+//                       knob trades wall clock, never numerics. Each rank
+//                       gets a kernel thread budget of
+//                       ADEPT_NUM_THREADS / ranks (min 1) so ranks x threads
+//                       never oversubscribes the machine.
 //
 // Serving knobs consumed by runtime::ServerConfig::from_env() (see
 // runtime/server.h; out-of-range values clamp into the supported envelope,

@@ -37,6 +37,8 @@
 //   runtime.context.step                               CompiledModel::run's
 //                                                      context dispatch loop
 //   server.worker.batch                                before each forward
+//   comm.allreduce                                     entry of every rank's
+//                                                      collective allreduce
 #pragma once
 
 #include <cstdint>

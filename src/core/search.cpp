@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "comm/sharded.h"
 #include "optim/optimizer.h"
 #include "optim/schedule.h"
 
@@ -25,7 +26,13 @@ AdeptSearcher::AdeptSearcher(const SearchConfig& config, ProxyTask& task)
   task_.bind(*mesh_);
 }
 
-SearchResult AdeptSearcher::run() {
+SearchResult AdeptSearcher::run(comm::Communicator* comm) {
+  const bool sharded = comm != nullptr;
+  if (sharded && !task_.supports_sharding()) {
+    throw std::invalid_argument(
+        "AdeptSearcher: task does not support sharded (data-parallel) "
+        "execution; run() without a communicator instead");
+  }
   SearchResult result;
   const int total_steps = config_.epochs * config_.steps_per_epoch;
   const int spl_step = config_.spl_epoch * config_.steps_per_epoch;
@@ -39,11 +46,35 @@ SearchResult AdeptSearcher::run() {
     for (auto& w : task_.weights()) params.push_back(w);
     return params;
   };
+  // Every differentiable leaf a loss graph can touch. The sharded path runs
+  // several backward passes per step (one per owned shard + one for the
+  // replicated penalties), so grads must be wiped between passes on ALL
+  // leaves, not just the stepped optimizer's.
+  auto all_params = [&]() {
+    std::vector<Tensor> params = weight_params();
+    for (auto& a : mesh_->arch_params()) params.push_back(a);
+    return params;
+  };
   auto weight_opt = std::make_unique<optim::Adam>(
       weight_params(), config_.lr_weights, 0.9, 0.999, 1e-8,
       config_.weight_decay_weights);
   optim::Adam arch_opt(mesh_->arch_params(), config_.lr_arch, 0.9, 0.999, 1e-8,
                        config_.weight_decay_arch);
+
+  // The cross-rank gradient reduction rides Optimizer::step's pre-step hook:
+  // the step body points these slots at the current step's reducer/penalty
+  // stash, and step() reduces right before apply_step reads the grads.
+  comm::ShardedGradReducer* cur_reducer = nullptr;
+  std::vector<std::vector<float>>* cur_penalty = nullptr;
+  std::vector<double> reduced_scalars;
+  auto attach_hook = [&](optim::Optimizer& opt) {
+    if (!sharded) return;
+    opt.set_pre_step_hook([&, comm] {
+      reduced_scalars = cur_reducer->finish(*comm, cur_penalty);
+    });
+  };
+  attach_hook(*weight_opt);
+  attach_hook(arch_opt);
 
   optim::CosineLr lr_schedule(config_.lr_weights, total_steps);
   optim::ExponentialDecay tau_schedule(config_.tau_start, config_.tau_end, total_steps);
@@ -61,6 +92,7 @@ SearchResult AdeptSearcher::run() {
       weight_opt = std::make_unique<optim::Adam>(
           weight_params(), lr_schedule.at(step), 0.9, 0.999, 1e-8,
           config_.weight_decay_weights);
+      attach_hook(*weight_opt);
     }
 
     const bool warmup = epoch < config_.warmup_epochs;
@@ -69,34 +101,114 @@ SearchResult AdeptSearcher::run() {
                     config_.weight_steps_per_arch_step);
 
     mesh_->begin_step(tau, rng_, /*stochastic=*/true);
-    Tensor task_loss = task_.loss(*mesh_, /*validation=*/arch_step);
-    Tensor loss = task_loss;
+
+    if (!sharded) {
+      Tensor task_loss = task_.loss(*mesh_, /*validation=*/arch_step);
+      Tensor loss = task_loss;
+      std::vector<Tensor> perms;
+      if (!mesh_->permutations_frozen()) {
+        perms = mesh_->all_relaxed_perms();
+        loss = ag::add(loss, alm.penalty(perms));
+      }
+      Tensor penalty = mesh_->footprint_penalty_expr(config_.footprint);
+      if (!warmup) loss = ag::add(loss, penalty);
+      // Record E[F] before the optimizer mutates parameters: the value then
+      // describes the same parameters as task_loss/penalty above (and reads
+      // the block-count cache footprint_penalty_expr just filled, instead of
+      // re-running SPL legalization per query).
+      result.trace.expected_footprint.push_back(
+          mesh_->expected_footprint(config_.footprint.pdk));
+
+      if (arch_step) {
+        arch_opt.zero_grad();
+        loss.backward();
+        arch_opt.step();
+      } else {
+        weight_opt->zero_grad();
+        loss.backward();
+        weight_opt->step();
+        if (!mesh_->permutations_frozen()) alm.update(perms);
+      }
+
+      result.trace.task_loss.push_back(task_loss.item());
+      result.trace.alm_lambda.push_back(alm.mean_lambda());
+      result.trace.alm_rho.push_back(alm.rho());
+      result.trace.permutation_error.push_back(
+          perms.empty() ? 0.0 : alm.permutation_error(perms));
+      result.trace.footprint_penalty.push_back(penalty.item());
+      continue;
+    }
+
+    // ---- sharded (data-parallel) step ----------------------------------
+    // Task gradients come from one backward per owned micro-shard, combined
+    // across shards and ranks in the fixed tree order of comm/sharded.h.
+    // The ALM + footprint penalty gradients are replicated (identical on
+    // every rank), computed in a separate pass, and added exactly once
+    // after the cross-rank reduce.
+    const std::int64_t items = task_.begin_step_items(arch_step);
+    const int shards = comm::shard_count(items);
+    optim::Optimizer& opt =
+        arch_step ? static_cast<optim::Optimizer&>(arch_opt) : *weight_opt;
+    comm::ShardedGradReducer reducer(opt.params(), /*scalar_slots=*/1);
+    const std::int64_t stat_cols = task_.stat_slots();
+    std::vector<float> stat_rows(
+        static_cast<std::size_t>(shards) * static_cast<std::size_t>(stat_cols),
+        0.0f);
+    std::vector<Tensor> leaves = all_params();
+    for (int s = 0; s < shards; ++s) {
+      if (comm::shard_owner(s, shards, comm->world_size()) != comm->rank()) {
+        continue;
+      }
+      for (auto& p : leaves) p.zero_grad();
+      const auto range = comm::shard_range(items, s, shards);
+      Tensor shard_loss =
+          task_.loss_shard(*mesh_, arch_step, range.lo, range.hi, items);
+      shard_loss.backward();
+      reducer.add_shard({static_cast<double>(shard_loss.item())});
+      if (stat_cols > 0) {
+        task_.capture_shard_stats(stat_rows.data() +
+                                  static_cast<std::size_t>(s) *
+                                      static_cast<std::size_t>(stat_cols));
+      }
+    }
+    for (auto& p : leaves) p.zero_grad();
     std::vector<Tensor> perms;
+    Tensor penalty = mesh_->footprint_penalty_expr(config_.footprint);
+    Tensor extra = Tensor::scalar(0.0f);
+    bool have_extra = false;
     if (!mesh_->permutations_frozen()) {
       perms = mesh_->all_relaxed_perms();
-      loss = ag::add(loss, alm.penalty(perms));
+      extra = ag::add(extra, alm.penalty(perms));
+      have_extra = true;
     }
-    Tensor penalty = mesh_->footprint_penalty_expr(config_.footprint);
-    if (!warmup) loss = ag::add(loss, penalty);
-    // Record E[F] before the optimizer mutates parameters: the value then
-    // describes the same parameters as task_loss/penalty above (and reads
-    // the block-count cache footprint_penalty_expr just filled, instead of
-    // re-running SPL legalization per query).
+    if (!warmup) {
+      extra = ag::add(extra, penalty);
+      have_extra = true;
+    }
+    if (have_extra) extra.backward();
+    std::vector<Tensor> opt_params = opt.params();
+    std::vector<std::vector<float>> penalty_grads =
+        comm::ShardedGradReducer::harvest_grads(opt_params);
     result.trace.expected_footprint.push_back(
         mesh_->expected_footprint(config_.footprint.pdk));
 
-    if (arch_step) {
-      arch_opt.zero_grad();
-      loss.backward();
-      arch_opt.step();
-    } else {
-      weight_opt->zero_grad();
-      loss.backward();
-      weight_opt->step();
-      if (!mesh_->permutations_frozen()) alm.update(perms);
+    cur_reducer = &reducer;
+    cur_penalty = &penalty_grads;
+    opt.step();  // pre-step hook: allreduce task grads, add penalty grads
+    cur_reducer = nullptr;
+    cur_penalty = nullptr;
+    if (!arch_step && !mesh_->permutations_frozen()) alm.update(perms);
+
+    if (stat_cols > 0) {
+      // Zero-filled except each owner's rows, so the sum IS the gather;
+      // every rank then replays the same bits in shard order.
+      comm->allreduce_sum(stat_rows.data(),
+                          static_cast<std::int64_t>(stat_rows.size()));
+      task_.apply_step_stats(stat_rows.data(), shards);
     }
 
-    result.trace.task_loss.push_back(task_loss.item());
+    result.trace.task_loss.push_back(
+        reduced_scalars.empty() ? 0.0 : reduced_scalars[0]);
     result.trace.alm_lambda.push_back(alm.mean_lambda());
     result.trace.alm_rho.push_back(alm.rho());
     result.trace.permutation_error.push_back(
@@ -167,6 +279,24 @@ Tensor MatrixFitTask::loss(SuperMesh& mesh, bool validation) {
   return ag::mul_scalar(total, 1.0f / static_cast<float>(tiles_));
 }
 
+Tensor MatrixFitTask::loss_shard(SuperMesh& mesh, bool validation,
+                                 std::int64_t lo, std::int64_t hi,
+                                 std::int64_t items) {
+  (void)validation;
+  Tensor total = Tensor::scalar(0.0f);
+  for (std::int64_t t = lo; t < hi; ++t) {
+    CxTensor u = mesh.tile_unitary(Side::u, phi_u_[static_cast<std::size_t>(t)]);
+    CxTensor v = mesh.tile_unitary(Side::v, phi_v_[static_cast<std::size_t>(t)]);
+    const std::int64_t k = mesh.k();
+    CxTensor us = ag::cscale(
+        u, ag::reshape(sigma_[static_cast<std::size_t>(t)], {1, k}));
+    CxTensor w = ag::cmatmul(us, v);
+    Tensor err = ag::sub(w.re, targets_[static_cast<std::size_t>(t)]);
+    total = ag::add(total, ag::mean(ag::square(err)));
+  }
+  return ag::mul_scalar(total, 1.0f / static_cast<float>(items));
+}
+
 std::vector<Tensor> MatrixFitTask::weights() {
   std::vector<Tensor> out;
   for (auto& tile : phi_u_) {
@@ -184,6 +314,22 @@ double MatrixFitTask::metric(SuperMesh& mesh) {
   adept::Rng eval_rng(7);
   mesh.begin_step(/*tau=*/0.5, eval_rng, /*stochastic=*/false);
   return -static_cast<double>(loss(mesh, true).item());
+}
+
+SearchResult run_search_data_parallel(
+    const SearchConfig& config,
+    const std::function<std::unique_ptr<ProxyTask>()>& make_task, int ranks) {
+  const int world = comm::resolve_ranks(ranks);
+  SearchResult out;
+  comm::run_ranks(world, [&](comm::Communicator& c) {
+    // Each rank replays the identical deterministic construction; only the
+    // shard ownership inside run() differs across ranks.
+    std::unique_ptr<ProxyTask> task = make_task();
+    AdeptSearcher searcher(config, *task);
+    SearchResult r = searcher.run(&c);
+    if (c.rank() == 0) out = std::move(r);
+  });
+  return out;
 }
 
 }  // namespace adept::core

@@ -14,10 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "autograd/tensor.h"
+#include "comm/communicator.h"
 #include "common/rng.h"
 #include "core/alm.h"
 #include "core/footprint.h"
@@ -42,6 +45,39 @@ class ProxyTask {
   virtual std::vector<ag::Tensor> weights() = 0;
   // Optional scalar quality metric for traces (higher is better).
   virtual double metric(SuperMesh& mesh) { (void)mesh; return 0.0; }
+
+  // ---- optional micro-shard support (data-parallel search, src/comm) ----
+  // A sharding task splits each step's loss into per-item-range shard
+  // losses whose sum equals the step loss; AdeptSearcher::run(comm) then
+  // distributes the shards over ranks with the fixed reduction order of
+  // comm/sharded.h (results are bit-identical at any rank count).
+  virtual bool supports_sharding() const { return false; }
+  // Draw/pin this step's items — called exactly once per step on EVERY rank
+  // (so any task-internal rng advances identically) — and return the item
+  // count to shard over.
+  virtual std::int64_t begin_step_items(bool validation) {
+    (void)validation;
+    return 0;
+  }
+  // Loss over items [lo, hi) of the pinned step data, scaled by 1/items so
+  // the shard losses of one step sum to the step's full (mean) loss.
+  virtual ag::Tensor loss_shard(SuperMesh& mesh, bool validation,
+                                std::int64_t lo, std::int64_t hi,
+                                std::int64_t items) {
+    (void)mesh, (void)validation, (void)lo, (void)hi, (void)items;
+    throw std::logic_error("ProxyTask: loss_shard not implemented");
+  }
+  // Width of the per-shard auxiliary stat row (order-dependent state the
+  // task must replay in shard order — BatchNorm running stats); 0 = none.
+  virtual std::int64_t stat_slots() const { return 0; }
+  // Write the stats captured by the latest loss_shard backward into `row`
+  // (stat_slots() floats).
+  virtual void capture_shard_stats(float* row) { (void)row; }
+  // Replay `shards` gathered rows (stat_slots() floats each, shard-major,
+  // identical bits on every rank) in ascending shard order.
+  virtual void apply_step_stats(const float* rows, int shards) {
+    (void)rows, (void)shards;
+  }
 };
 
 struct SearchConfig {
@@ -84,7 +120,15 @@ class AdeptSearcher {
  public:
   AdeptSearcher(const SearchConfig& config, ProxyTask& task);
 
-  SearchResult run();
+  // comm == nullptr: the single-process path (unchanged numerics).
+  // comm != nullptr: the micro-shard data-parallel path — each rank must own
+  // its own AdeptSearcher + task replica built from the same config/seed
+  // (see run_search_data_parallel); gradients are allreduced through the
+  // stepped optimizer's pre-step hook. Bit-identical results at any world
+  // size in {1, 2, 4, 8} — note world 1 still runs the sharded numerics,
+  // which differ from the nullptr path (a different but equally
+  // deterministic summation order).
+  SearchResult run(comm::Communicator* comm = nullptr);
   SuperMesh& mesh() { return *mesh_; }
   const SearchConfig& config() const { return config_; }
 
@@ -94,6 +138,17 @@ class AdeptSearcher {
   std::unique_ptr<SuperMesh> mesh_;
   adept::Rng rng_;
 };
+
+// Data-parallel search entry point: spawns `ranks` in-process rank threads
+// (0 = resolve the ADEPT_RANKS knob), builds one task replica per rank with
+// `make_task` (replicas must be deterministic functions of their
+// construction — same datasets, same seeds), runs the sharded search on
+// each, and returns rank 0's result. With ranks resolving to 1 this still
+// runs the sharded path so results are comparable across rank counts.
+SearchResult run_search_data_parallel(
+    const SearchConfig& config,
+    const std::function<std::unique_ptr<ProxyTask>()>& make_task,
+    int ranks = 0);
 
 // Built-in proxy: fit a bank of random target matrices with W = U Sigma V
 // (real part), loss = mean squared error. Exercises the full search stack
@@ -105,6 +160,15 @@ class MatrixFitTask : public ProxyTask {
   ag::Tensor loss(SuperMesh& mesh, bool validation) override;
   std::vector<ag::Tensor> weights() override;
   double metric(SuperMesh& mesh) override;  // negative MSE
+
+  // Micro-shard support: tiles are the shard items.
+  bool supports_sharding() const override { return true; }
+  std::int64_t begin_step_items(bool validation) override {
+    (void)validation;
+    return tiles_;
+  }
+  ag::Tensor loss_shard(SuperMesh& mesh, bool validation, std::int64_t lo,
+                        std::int64_t hi, std::int64_t items) override;
 
  private:
   int tiles_;

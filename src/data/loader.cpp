@@ -44,4 +44,20 @@ Batch DataLoader::gather(const std::vector<int>& indices) const {
   return out;
 }
 
+Batch slice_batch(const Batch& batch, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t elems = n == 0 ? 0 : batch.images.numel() / n;
+  const auto& src = batch.images.data();
+  std::vector<float> data(src.begin() + static_cast<std::ptrdiff_t>(lo * elems),
+                          src.begin() + static_cast<std::ptrdiff_t>(hi * elems));
+  Batch out;
+  out.images = ag::make_tensor(
+      std::move(data),
+      {hi - lo, batch.images.dim(1), batch.images.dim(2), batch.images.dim(3)},
+      false);
+  out.labels.assign(batch.labels.begin() + static_cast<std::ptrdiff_t>(lo),
+                    batch.labels.begin() + static_cast<std::ptrdiff_t>(hi));
+  return out;
+}
+
 }  // namespace adept::data

@@ -32,4 +32,9 @@ class DataLoader {
   std::vector<int> order_;
 };
 
+// Samples [lo, hi) of an assembled batch as a new batch (copies the image
+// rows). Used by the data-parallel micro-shard paths (src/comm) to hand each
+// shard its slice of the step's full batch.
+Batch slice_batch(const Batch& batch, std::int64_t lo, std::int64_t hi);
+
 }  // namespace adept::data

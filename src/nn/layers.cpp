@@ -72,8 +72,27 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
 }
 
 Tensor BatchNorm2d::forward(const Tensor& x) {
+  if (training() && capture_) {
+    // momentum = 1 turns the in-place running-stat update into a pure
+    // write: (1-1)*scratch + 1*stat == stat, so the zeroed scratch buffers
+    // come back holding the exact float batch statistics while the real
+    // running stats stay untouched (replayed later in fixed shard order —
+    // see the header comment).
+    captured_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    captured_var_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    return ag::batchnorm2d(x, gamma_, beta_, captured_mean_, captured_var_,
+                           /*training=*/true, /*momentum=*/1.0f, eps_);
+  }
   return ag::batchnorm2d(x, gamma_, beta_, running_mean_, running_var_, training(),
                          momentum_, eps_);
+}
+
+void BatchNorm2d::update_running_stats(const float* mean, const float* var) {
+  for (std::int64_t ci = 0; ci < channels_; ++ci) {
+    const auto i = static_cast<std::size_t>(ci);
+    running_mean_[i] = (1.0f - momentum_) * running_mean_[i] + momentum_ * mean[i];
+    running_var_[i] = (1.0f - momentum_) * running_var_[i] + momentum_ * var[i];
+  }
 }
 
 std::vector<Tensor> BatchNorm2d::parameters() { return {gamma_, beta_}; }

@@ -65,11 +65,29 @@ class BatchNorm2d : public Module {
   std::vector<float>& running_mean() { return running_mean_; }
   std::vector<float>& running_var() { return running_var_; }
 
+  // Deferred-stat mode for the data-parallel micro-shard paths (src/comm):
+  // the running-stat EMA chain is order-dependent, so a training forward
+  // must not fold its batch statistics in on the spot. With capture enabled,
+  // a training forward still normalizes with the batch statistics (ghost
+  // batch norm over the shard) but leaves the exact float mean/var in
+  // captured_mean()/captured_var() instead of touching the running stats.
+  // The caller gathers every shard's captured stats across ranks and replays
+  // them in shard order via update_running_stats, giving identical running
+  // stats at any rank count. Eval forwards ignore the flag.
+  void set_stat_capture(bool on) { capture_ = on; }
+  bool stat_capture() const { return capture_; }
+  const std::vector<float>& captured_mean() const { return captured_mean_; }
+  const std::vector<float>& captured_var() const { return captured_var_; }
+  // One EMA replay step: rs = (1 - momentum) * rs + momentum * stat.
+  void update_running_stats(const float* mean, const float* var);
+
  private:
   std::int64_t channels_;
   float momentum_, eps_;
   ag::Tensor gamma_, beta_;
   std::vector<float> running_mean_, running_var_;
+  bool capture_ = false;
+  std::vector<float> captured_mean_, captured_var_;
 };
 
 class ReLU : public Module {

@@ -1,22 +1,217 @@
 #include "nn/train.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
+#include "comm/sharded.h"
+#include "nn/layers.h"
 #include "nn/loss.h"
 #include "optim/optimizer.h"
 #include "optim/schedule.h"
+#include "runtime/checkpoint.h"
 
 namespace adept::nn {
 
 using ag::Tensor;
 
+namespace {
+
+// The cosine schedule must span the GLOBAL step count, derived from the
+// dataset itself, so every rank of a data-parallel run (and the legacy loop)
+// anneals identically no matter how its local loader is shaped.
+int global_steps_per_epoch(const data::SyntheticDataset& train_set,
+                           const TrainConfig& config) {
+  return (train_set.size() + config.batch_size - 1) / config.batch_size;
+}
+
+std::vector<BatchNorm2d*> collect_bn_layers(OnnModel& model) {
+  std::vector<BatchNorm2d*> out;
+  for (const auto& m : flatten_modules(model.net)) {
+    if (auto* bn = dynamic_cast<BatchNorm2d*>(m.get())) out.push_back(bn);
+  }
+  return out;
+}
+
+// Stat-row layout shared by capture and replay: [mean C | var C] per
+// BatchNorm layer, in module order.
+std::int64_t bn_stat_cols(const std::vector<BatchNorm2d*>& bns) {
+  std::int64_t cols = 0;
+  for (auto* bn : bns) cols += 2 * bn->channels();
+  return cols;
+}
+
+void capture_bn_row(const std::vector<BatchNorm2d*>& bns, float* row) {
+  for (auto* bn : bns) {
+    const auto c = static_cast<std::ptrdiff_t>(bn->channels());
+    std::copy(bn->captured_mean().begin(), bn->captured_mean().end(), row);
+    row += c;
+    std::copy(bn->captured_var().begin(), bn->captured_var().end(), row);
+    row += c;
+  }
+}
+
+void replay_bn_rows(const std::vector<BatchNorm2d*>& bns, const float* rows,
+                    int shards, std::int64_t cols) {
+  for (int s = 0; s < shards; ++s) {
+    const float* row = rows + static_cast<std::ptrdiff_t>(s) * cols;
+    for (auto* bn : bns) {
+      bn->update_running_stats(row, row + bn->channels());
+      row += 2 * bn->channels();
+    }
+  }
+}
+
+// Variation-aware noise in the sharded path is a pure function of
+// (step, shard): each shard forward re-arms the drift streams, so the noise
+// a sample sees never depends on how many forwards this rank ran before.
+std::uint64_t shard_noise_seed(std::uint64_t seed, int step, int shard) {
+  const std::uint64_t tag =
+      static_cast<std::uint64_t>(step) * (comm::kMaxShards + 1) +
+      static_cast<std::uint64_t>(shard) + 1;
+  return (seed ^ 0xbeefULL) + 0x9e3779b97f4a7c15ULL * tag;
+}
+
+TrainStats train_classifier_ranked(OnnModel& model,
+                                   const data::SyntheticDataset& train_set,
+                                   const data::SyntheticDataset& test_set,
+                                   const TrainConfig& config, int world) {
+  std::string bytes;
+  if (world > 1) {
+    try {
+      bytes = runtime::encode_checkpoint(model);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          std::string("train_classifier: multi-rank training replicates the "
+                      "model via checkpoints, which this model does not "
+                      "support (") +
+          e.what() +
+          "); freeze searched layers to a fixed PtcTopology first");
+    }
+  }
+  const int steps_per_epoch = global_steps_per_epoch(train_set, config);
+  const int total_steps = config.epochs * steps_per_epoch;
+
+  TrainStats stats;
+  comm::run_ranks(world, [&](comm::Communicator& c) {
+    // Rank 0 trains the caller's model in place; the others train
+    // checkpoint clones (bit-identical parameters by the round-trip
+    // guarantee). Updates stay in lockstep, so the clones are discarded.
+    std::optional<runtime::LoadedCheckpoint> clone;
+    OnnModel* m = &model;
+    if (c.rank() != 0) {
+      clone = runtime::decode_checkpoint(bytes);
+      m = &clone->model;
+    }
+    std::vector<BatchNorm2d*> bns = collect_bn_layers(*m);
+    const std::int64_t stat_cols = bn_stat_cols(bns);
+    for (auto* bn : bns) bn->set_stat_capture(true);
+
+    adept::Rng rng(config.seed);  // shared seed -> identical shuffles
+    data::DataLoader loader(train_set, config.batch_size);
+    optim::Adam opt(m->parameters(), config.lr, 0.9, 0.999, 1e-8,
+                    config.weight_decay);
+    optim::CosineLr schedule(config.lr, total_steps);
+
+    comm::ShardedGradReducer* cur_reducer = nullptr;
+    std::vector<double> step_scalars;
+    opt.set_pre_step_hook(
+        [&] { step_scalars = cur_reducer->finish(c); });
+
+    TrainStats local;
+    int step = 0;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      m->set_training(true);
+      loader.shuffle(rng);
+      double epoch_loss = 0.0;
+      const int nb = loader.batches_per_epoch();
+      for (int b = 0; b < nb; ++b) {
+        if (config.cosine_lr) opt.set_lr(schedule.at(step));
+        // Every rank assembles the full step batch (cheap, keeps the rng
+        // streams identical) and computes only its owned micro-shards.
+        data::Batch batch = loader.batch(b);
+        const auto n = static_cast<std::int64_t>(batch.labels.size());
+        const int shards = comm::shard_count(n);
+        comm::ShardedGradReducer reducer(opt.params(), /*scalar_slots=*/1);
+        std::vector<float> stat_rows(
+            static_cast<std::size_t>(shards) *
+                static_cast<std::size_t>(stat_cols),
+            0.0f);
+        for (int s = 0; s < shards; ++s) {
+          if (comm::shard_owner(s, shards, c.world_size()) != c.rank()) {
+            continue;
+          }
+          opt.zero_grad();
+          if (config.train_phase_noise > 0.0) {
+            m->set_phase_noise(config.train_phase_noise,
+                               shard_noise_seed(config.seed, step, s));
+          }
+          const auto r = comm::shard_range(n, s, shards);
+          data::Batch sb = data::slice_batch(batch, r.lo, r.hi);
+          Tensor logits = m->net->forward(sb.images);
+          // Scale the shard mean so the shard losses of the step sum to the
+          // full-batch mean loss.
+          Tensor loss = ag::mul_scalar(
+              cross_entropy_loss(logits, sb.labels),
+              static_cast<float>(r.hi - r.lo) / static_cast<float>(n));
+          loss.backward();
+          reducer.add_shard({static_cast<double>(loss.item())});
+          if (stat_cols > 0) {
+            capture_bn_row(bns, stat_rows.data() +
+                                    static_cast<std::size_t>(s) *
+                                        static_cast<std::size_t>(stat_cols));
+          }
+        }
+        cur_reducer = &reducer;
+        opt.step();  // pre-step hook allreduces grads + loss across ranks
+        cur_reducer = nullptr;
+        if (stat_cols > 0) {
+          // Rows are zero except at their owner, so the sum IS the gather;
+          // every rank replays the identical bits in shard order.
+          c.allreduce_sum(stat_rows.data(),
+                          static_cast<std::int64_t>(stat_rows.size()));
+          replay_bn_rows(bns, stat_rows.data(), shards, stat_cols);
+        }
+        epoch_loss += step_scalars.empty() ? 0.0 : step_scalars[0];
+        ++step;
+      }
+      local.train_loss_per_epoch.push_back(epoch_loss / std::max(1, nb));
+      if (c.rank() == 0) {
+        local.test_accuracy_per_epoch.push_back(
+            evaluate_accuracy(*m, test_set));
+        if (config.verbose) {
+          std::printf("  epoch %d: loss %.4f acc %.4f\n", epoch,
+                      local.train_loss_per_epoch.back(),
+                      local.test_accuracy_per_epoch.back());
+        }
+      }
+    }
+    for (auto* bn : bns) bn->set_stat_capture(false);
+    if (c.rank() == 0) {
+      local.final_accuracy = local.test_accuracy_per_epoch.empty()
+                                 ? 0.0
+                                 : local.test_accuracy_per_epoch.back();
+      stats = std::move(local);
+    }
+  });
+  return stats;
+}
+
+}  // namespace
+
 TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train_set,
                             const data::SyntheticDataset& test_set,
                             const TrainConfig& config) {
+  const int world = comm::resolve_ranks(config.ranks);
+  if (world > 1 || config.data_parallel) {
+    return train_classifier_ranked(model, train_set, test_set, config, world);
+  }
   adept::Rng rng(config.seed);
   data::DataLoader loader(train_set, config.batch_size);
   optim::Adam opt(model.parameters(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
-  const int total_steps = config.epochs * loader.batches_per_epoch();
+  const int total_steps = config.epochs * global_steps_per_epoch(train_set, config);
   optim::CosineLr schedule(config.lr, total_steps);
   if (config.train_phase_noise > 0.0) {
     model.set_phase_noise(config.train_phase_noise, config.seed ^ 0xbeef);
@@ -104,6 +299,7 @@ void OnnProxyTask::bind(core::SuperMesh& mesh) {
   PtcBinding binding = PtcBinding::searched(&mesh);
   model_ = make_proxy_cnn(train_set_.spec().channels, train_set_.spec().height,
                           train_set_.spec().classes, binding, rng_, cnn_width_);
+  bn_layers_ = collect_bn_layers(model_);
   train_loader_.shuffle(rng_);
   val_loader_.shuffle(rng_);
   bound_ = true;
@@ -125,6 +321,38 @@ Tensor OnnProxyTask::loss(core::SuperMesh& mesh, bool validation) {
   data::Batch batch = next_batch(validation);
   Tensor logits = model_.net->forward(batch.images);
   return cross_entropy_loss(logits, batch.labels);
+}
+
+std::int64_t OnnProxyTask::begin_step_items(bool validation) {
+  ag::check(bound_, "OnnProxyTask: bind() not called");
+  // Sharded training forwards must not fold batch statistics into the
+  // running stats on the spot — capture them for the gather/replay protocol.
+  for (auto* bn : bn_layers_) bn->set_stat_capture(true);
+  step_batch_ = next_batch(validation);
+  return static_cast<std::int64_t>(step_batch_.labels.size());
+}
+
+Tensor OnnProxyTask::loss_shard(core::SuperMesh& mesh, bool validation,
+                                std::int64_t lo, std::int64_t hi,
+                                std::int64_t items) {
+  (void)mesh, (void)validation;  // batch pinned by begin_step_items
+  data::Batch sb = data::slice_batch(step_batch_, lo, hi);
+  Tensor logits = model_.net->forward(sb.images);
+  return ag::mul_scalar(cross_entropy_loss(logits, sb.labels),
+                        static_cast<float>(hi - lo) /
+                            static_cast<float>(items));
+}
+
+std::int64_t OnnProxyTask::stat_slots() const {
+  return bn_stat_cols(bn_layers_);
+}
+
+void OnnProxyTask::capture_shard_stats(float* row) {
+  capture_bn_row(bn_layers_, row);
+}
+
+void OnnProxyTask::apply_step_stats(const float* rows, int shards) {
+  replay_bn_rows(bn_layers_, rows, shards, bn_stat_cols(bn_layers_));
 }
 
 std::vector<Tensor> OnnProxyTask::weights() { return model_.parameters(); }

@@ -18,6 +18,8 @@
 
 namespace adept::nn {
 
+class BatchNorm2d;  // layers.h
+
 struct TrainConfig {
   int epochs = 5;
   int batch_size = 64;
@@ -28,6 +30,14 @@ struct TrainConfig {
   // Variation-aware training noise (0 disables).
   double train_phase_noise = 0.0;
   bool verbose = false;
+  // Data-parallel rank count: 0 resolves the ADEPT_RANKS knob (default 1),
+  // explicit values are clamped by comm::resolve_ranks. With a resolved
+  // world of 1 the legacy single-process loop runs unless data_parallel
+  // forces the sharded numerics (sharded results are bit-identical across
+  // rank counts, but are a different deterministic summation order than the
+  // legacy loop).
+  int ranks = 0;
+  bool data_parallel = false;
 };
 
 struct TrainStats {
@@ -58,6 +68,19 @@ class OnnProxyTask : public core::ProxyTask {
   std::vector<ag::Tensor> weights() override;
   double metric(core::SuperMesh& mesh) override;  // validation accuracy
 
+  // Micro-shard support (data-parallel search): the shard items are the
+  // samples of the step's batch; BatchNorm running stats go through the
+  // capture/gather/replay protocol (stat row = [mean C | var C] per BN
+  // layer in module order).
+  bool supports_sharding() const override { return true; }
+  std::int64_t begin_step_items(bool validation) override;
+  ag::Tensor loss_shard(core::SuperMesh& mesh, bool validation,
+                        std::int64_t lo, std::int64_t hi,
+                        std::int64_t items) override;
+  std::int64_t stat_slots() const override;
+  void capture_shard_stats(float* row) override;
+  void apply_step_stats(const float* rows, int shards) override;
+
  private:
   data::Batch next_batch(bool validation);
 
@@ -72,6 +95,8 @@ class OnnProxyTask : public core::ProxyTask {
   int val_cursor_ = 0;
   OnnModel model_;
   bool bound_ = false;
+  data::Batch step_batch_;               // pinned by begin_step_items
+  std::vector<BatchNorm2d*> bn_layers_;  // collected at bind
 };
 
 }  // namespace adept::nn

@@ -1,0 +1,459 @@
+// src/comm collective layer: correctness of the collectives against the
+// documented fixed reduction tree, shutdown behavior under failure, and the
+// headline guarantee — N-rank search/training results are ASSERT_EQ
+// bit-identical to 1-rank at any kernel thread count.
+//
+// Suites: Comm* are cheap and thread-heavy (they run under the TSan CI leg);
+// RankParity* are the heavier end-to-end parity checks (Release legs only).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backend/parallel.h"
+#include "comm/communicator.h"
+#include "comm/sharded.h"
+#include "common/failpoint.h"
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "photonics/builders.h"
+
+namespace {
+
+namespace be = adept::backend;
+namespace comm = adept::comm;
+namespace core = adept::core;
+namespace data = adept::data;
+namespace nn = adept::nn;
+namespace ph = adept::photonics;
+using adept::Rng;
+
+// Deterministic per-rank input for the collective tests.
+float rank_value(int rank, std::int64_t i) {
+  return 1.0f / static_cast<float>(rank + 1) +
+         0.125f * static_cast<float>((i * (rank + 3)) % 11);
+}
+
+// ---- Comm: collectives ----------------------------------------------------
+
+TEST(Comm, AllreduceMatchesFixedTreeReference) {
+  // 4097 floats: crosses a chunk boundary with a ragged tail, so chunk
+  // ownership and per-element order both get exercised.
+  const std::int64_t n = 4097;
+  const int world = 4;
+  std::vector<std::vector<float>> got(world);
+  comm::run_ranks(world, [&](comm::Communicator& c) {
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[static_cast<std::size_t>(i)] = rank_value(c.rank(), i);
+    }
+    c.allreduce_sum(v.data(), n);
+    got[static_cast<std::size_t>(c.rank())] = std::move(v);
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Documented order: ((r0 + r1) + (r2 + r3)), no other association.
+    const float expect = (rank_value(0, i) + rank_value(1, i)) +
+                         (rank_value(2, i) + rank_value(3, i));
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                expect)
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST(Comm, AllreduceDoubleAndDegenerateSizes) {
+  comm::run_ranks(2, [&](comm::Communicator& c) {
+    std::vector<double> v = {1.5 + c.rank(), -2.25, 0.5 * c.rank()};
+    c.allreduce_sum(v.data(), 3);
+    EXPECT_EQ(v[0], 1.5 + 2.5);
+    EXPECT_EQ(v[1], -4.5);
+    EXPECT_EQ(v[2], 0.5);
+    // n = 0 and n = 1 must not crash or hang.
+    c.allreduce_sum(v.data(), 0);
+    float one = static_cast<float>(c.rank() + 1);
+    c.allreduce_sum(&one, 1);
+    EXPECT_EQ(one, 3.0f);
+  });
+}
+
+TEST(Comm, AllreduceBitsIndependentOfThreadCount) {
+  const std::int64_t n = 10000;  // non-divisible by the chunk size
+  auto run_at = [&](int threads) {
+    be::ThreadScope scope(threads);
+    std::vector<float> out;
+    comm::run_ranks(4, [&](comm::Communicator& c) {
+      std::vector<float> v(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        v[static_cast<std::size_t>(i)] = rank_value(c.rank(), i);
+      }
+      c.allreduce_sum(v.data(), n);
+      if (c.rank() == 0) out = std::move(v);
+    });
+    return out;
+  };
+  const auto t1 = run_at(1);
+  const auto t3 = run_at(3);
+  const auto t8 = run_at(8);
+  ASSERT_EQ(t1.size(), t3.size());
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    ASSERT_EQ(t1[i], t3[i]);
+    ASSERT_EQ(t1[i], t8[i]);
+  }
+}
+
+TEST(Comm, BroadcastReplicatesRoot) {
+  comm::run_ranks(4, [&](comm::Communicator& c) {
+    std::vector<float> v(257, static_cast<float>(c.rank()));
+    c.broadcast(v.data(), static_cast<std::int64_t>(v.size()), /*root=*/2);
+    for (float x : v) ASSERT_EQ(x, 2.0f);
+    std::vector<double> d(3, static_cast<double>(c.rank()) + 0.25);
+    c.broadcast(d.data(), 3, /*root=*/0);
+    for (double x : d) ASSERT_EQ(x, 0.25);
+  });
+}
+
+TEST(Comm, AllgatherIsRankMajor) {
+  const std::int64_t n = 5;
+  comm::run_ranks(4, [&](comm::Communicator& c) {
+    std::vector<float> in(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      in[static_cast<std::size_t>(i)] = rank_value(c.rank(), i);
+    }
+    std::vector<float> out(static_cast<std::size_t>(4 * n), -1.0f);
+    c.allgather(in.data(), n, out.data());
+    for (int r = 0; r < 4; ++r) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[static_cast<std::size_t>(r * n + i)], rank_value(r, i));
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(Comm, ResolveRanksClampingSemantics) {
+  // Explicit requests: clamp to [1, kMaxWorld], then round down to pow2
+  // (explicit counts may oversubscribe small machines — ranks timeslice).
+  EXPECT_EQ(comm::resolve_ranks(1), 1);
+  EXPECT_EQ(comm::resolve_ranks(2), 2);
+  EXPECT_EQ(comm::resolve_ranks(3), 2);
+  EXPECT_EQ(comm::resolve_ranks(5), 4);
+  EXPECT_EQ(comm::resolve_ranks(8), 8);
+  EXPECT_EQ(comm::resolve_ranks(64), 8);
+
+  // Env-driven requests clamp to the hardware envelope.
+  const int hw_max = comm::max_world_size();
+  EXPECT_GE(hw_max, 1);
+  EXPECT_LE(hw_max, comm::kMaxWorld);
+  ASSERT_EQ(setenv("ADEPT_RANKS", "64", 1), 0);
+  int r = comm::resolve_ranks();
+  EXPECT_LE(r, hw_max);
+  EXPECT_GE(r, 1);
+  EXPECT_EQ(r & (r - 1), 0);  // power of two
+  // Unknown / non-positive values fall back to 1, never error.
+  ASSERT_EQ(setenv("ADEPT_RANKS", "banana", 1), 0);
+  EXPECT_EQ(comm::resolve_ranks(), 1);
+  ASSERT_EQ(setenv("ADEPT_RANKS", "-3", 1), 0);
+  EXPECT_EQ(comm::resolve_ranks(), 1);
+  ASSERT_EQ(unsetenv("ADEPT_RANKS"), 0);
+  EXPECT_EQ(comm::resolve_ranks(), 1);
+}
+
+TEST(Comm, RunRanksRejectsBadWorld) {
+  EXPECT_THROW(comm::run_ranks(0, [](comm::Communicator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(comm::run_ranks(comm::kMaxWorld + 1, [](comm::Communicator&) {}),
+               std::invalid_argument);
+}
+
+TEST(Comm, AllreduceFailpointAbortsWorldWithoutDeadlock) {
+  const std::uint64_t hits_before = adept::failpoint::hit_count("comm.allreduce");
+  adept::failpoint::Scoped fp("comm.allreduce", "1*throw");
+  // One rank dies entering the collective; its peers are blocked in the
+  // publish barrier and must unblock via the poisoned barrier instead of
+  // deadlocking. run_ranks then surfaces the injected root cause, not the
+  // AbortedError cascade.
+  EXPECT_THROW(
+      comm::run_ranks(4,
+                      [&](comm::Communicator& c) {
+                        std::vector<float> v(1000, static_cast<float>(c.rank()));
+                        c.allreduce_sum(v.data(),
+                                        static_cast<std::int64_t>(v.size()));
+                      }),
+      adept::failpoint::Injected);
+  EXPECT_GT(adept::failpoint::hit_count("comm.allreduce"), hits_before);
+  // The aborted world leaves no residue: a fresh world works.
+  comm::run_ranks(2, [](comm::Communicator& c) { c.barrier(); });
+}
+
+TEST(Comm, RunRanksRethrowsRootCauseOverAbortCascade) {
+  EXPECT_THROW(comm::run_ranks(4,
+                               [](comm::Communicator& c) {
+                                 if (c.rank() == 2) {
+                                   throw std::logic_error("rank 2 boom");
+                                 }
+                                 c.barrier();
+                               }),
+               std::logic_error);
+}
+
+// ---- Comm: micro-shard reducer -------------------------------------------
+
+TEST(Comm, ShardHelpersAreSizeOnlyAndAligned) {
+  EXPECT_EQ(comm::shard_count(0), 0);
+  EXPECT_EQ(comm::shard_count(1), 1);
+  EXPECT_EQ(comm::shard_count(5), 4);
+  EXPECT_EQ(comm::shard_count(8), 8);
+  EXPECT_EQ(comm::shard_count(1000), comm::kMaxShards);
+  // Ranges cover [0, items) contiguously.
+  const std::int64_t items = 13;
+  const int shards = comm::shard_count(items);
+  std::int64_t cursor = 0;
+  for (int s = 0; s < shards; ++s) {
+    const auto r = comm::shard_range(items, s, shards);
+    EXPECT_EQ(r.lo, cursor);
+    EXPECT_LE(r.lo, r.hi);
+    cursor = r.hi;
+  }
+  EXPECT_EQ(cursor, items);
+  // Owners form contiguous subtree-aligned blocks.
+  for (int world : {1, 2, 4, 8}) {
+    int prev = 0;
+    for (int s = 0; s < 8; ++s) {
+      const int o = comm::shard_owner(s, 8, world);
+      EXPECT_GE(o, prev);
+      EXPECT_LT(o, world);
+      prev = o;
+    }
+  }
+}
+
+TEST(Comm, ReducerGradientsBitIdenticalAcrossWorldSizes) {
+  // Per-shard "gradients" are a fixed function of the shard index; the
+  // reduced result must be bit-identical for every world size, because the
+  // combine order is the same fixed tree regardless of who owns what.
+  const std::int64_t items = 11;
+  const int shards = comm::shard_count(items);  // 8
+  const std::size_t n = 300;
+  auto shard_grad = [&](int s, std::size_t i) {
+    return std::sin(0.37f * static_cast<float>((s + 1) * (i % 17 + 1)));
+  };
+  std::map<int, std::vector<float>> grads;
+  std::map<int, double> scalars;
+  for (int world : {1, 2, 4, 8}) {
+    comm::run_ranks(world, [&](comm::Communicator& c) {
+      auto p = adept::ag::make_tensor(std::vector<float>(n, 0.0f),
+                                      {static_cast<std::int64_t>(n)}, true);
+      comm::ShardedGradReducer reducer({p}, /*scalar_slots=*/1);
+      for (int s = 0; s < shards; ++s) {
+        if (comm::shard_owner(s, shards, c.world_size()) != c.rank()) continue;
+        p.zero_grad();
+        auto& g = p.grad();
+        for (std::size_t i = 0; i < n; ++i) g[i] = shard_grad(s, i);
+        reducer.add_shard({static_cast<double>(s)});
+      }
+      const auto sc = reducer.finish(c);
+      if (c.rank() == 0) {
+        grads[world] = p.grad();
+        scalars[world] = sc.at(0);
+      }
+    });
+  }
+  for (int world : {2, 4, 8}) {
+    ASSERT_EQ(grads.at(world).size(), grads.at(1).size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(grads.at(world)[i], grads.at(1)[i])
+          << "world " << world << " elem " << i;
+    }
+    ASSERT_EQ(scalars.at(world), scalars.at(1));
+  }
+  EXPECT_EQ(scalars.at(1), 0.0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+// ---- RankParity: end-to-end bit-exactness --------------------------------
+
+core::SearchConfig parity_search_config() {
+  core::SearchConfig config;
+  config.mesh.k = 4;
+  config.mesh.super_blocks_per_unitary = 3;
+  config.mesh.always_on_per_unitary = 1;
+  config.footprint.pdk = ph::Pdk::amf();
+  config.footprint.f_min = 40;
+  config.footprint.f_max = 240;
+  config.epochs = 4;
+  config.warmup_epochs = 1;
+  config.spl_epoch = 2;
+  config.steps_per_epoch = 8;
+  config.alm.rho0 = 1e-4;
+  config.seed = 21;
+  return config;
+}
+
+void assert_traces_equal(const core::SearchTrace& a, const core::SearchTrace& b) {
+  ASSERT_EQ(a.task_loss.size(), b.task_loss.size());
+  for (std::size_t i = 0; i < a.task_loss.size(); ++i) {
+    ASSERT_EQ(a.task_loss[i], b.task_loss[i]) << "task_loss step " << i;
+    ASSERT_EQ(a.footprint_penalty[i], b.footprint_penalty[i]) << "step " << i;
+    ASSERT_EQ(a.expected_footprint[i], b.expected_footprint[i]) << "step " << i;
+    ASSERT_EQ(a.alm_lambda[i], b.alm_lambda[i]) << "step " << i;
+    ASSERT_EQ(a.permutation_error[i], b.permutation_error[i]) << "step " << i;
+  }
+}
+
+TEST(RankParity, MatrixFitSearchBitIdenticalAcrossRanks) {
+  const auto config = parity_search_config();
+  // 5 tiles -> 4 micro-shards with a ragged tail (the last shard holds 2).
+  auto make_task = [] {
+    return std::make_unique<core::MatrixFitTask>(/*tiles=*/5, /*seed=*/5);
+  };
+  auto run_at = [&](int ranks) {
+    return core::run_search_data_parallel(config, make_task, ranks);
+  };
+  const auto r1 = run_at(1);
+  const auto r2 = run_at(2);
+  const auto r4 = run_at(4);
+  assert_traces_equal(r1.trace, r2.trace);
+  assert_traces_equal(r1.trace, r4.trace);
+  ASSERT_EQ(r1.final_metric, r2.final_metric);
+  ASSERT_EQ(r1.final_metric, r4.final_metric);
+  ASSERT_EQ(r1.topology.footprint_um2(config.footprint.pdk),
+            r4.topology.footprint_um2(config.footprint.pdk));
+  // And the whole family is thread-count independent.
+  {
+    be::ThreadScope scope(2);
+    const auto r4t2 = run_at(4);
+    assert_traces_equal(r1.trace, r4t2.trace);
+    ASSERT_EQ(r1.final_metric, r4t2.final_metric);
+  }
+}
+
+TEST(RankParity, OnnProxySearchBitIdenticalAcrossRanks) {
+  // The CNN proxy adds the hard part: BatchNorm running stats, which go
+  // through the capture/gather/replay protocol instead of per-forward EMA.
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 14;
+  spec.width = 14;
+  data::SyntheticDataset train(spec, 48, 1);
+  data::SyntheticDataset val(spec, 32, 2);
+  auto config = parity_search_config();
+  config.epochs = 2;
+  config.steps_per_epoch = 6;
+  config.spl_epoch = 1;
+  auto make_task = [&] {
+    return std::make_unique<nn::OnnProxyTask>(train, val, /*batch=*/12,
+                                              /*width=*/4, /*seed=*/10);
+  };
+  const auto r1 = core::run_search_data_parallel(config, make_task, 1);
+  const auto r4 = core::run_search_data_parallel(config, make_task, 4);
+  assert_traces_equal(r1.trace, r4.trace);
+  ASSERT_EQ(r1.final_metric, r4.final_metric);
+}
+
+nn::OnnModel parity_model(std::uint64_t seed) {
+  auto topo = std::make_shared<ph::PtcTopology>(ph::butterfly(8));
+  Rng rng(seed);
+  return nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::fixed(topo), rng, 4);
+}
+
+TEST(RankParity, TrainClassifierBitIdenticalAcrossRanks) {
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 14;
+  spec.width = 14;
+  // 50 samples at batch 24: the last batch holds 2 samples, so shard counts
+  // vary per step (8, 8, 2) — the awkward case the size-only shard math must
+  // absorb. Phase noise on: the per-(step, shard) noise re-arm is covered.
+  data::SyntheticDataset train(spec, 50, 4);
+  data::SyntheticDataset test(spec, 32, 5);
+  nn::TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 24;
+  config.seed = 7;
+  config.train_phase_noise = 0.02;
+  config.data_parallel = true;  // world 1 still runs the sharded numerics
+
+  auto run_at = [&](int ranks, int threads) {
+    be::ThreadScope scope(threads);
+    auto model = parity_model(31);
+    auto cfg = config;
+    cfg.ranks = ranks;
+    const auto stats = nn::train_classifier(model, train, test, cfg);
+    return std::make_pair(model.parameters(), stats);
+  };
+  auto [p1, s1] = run_at(1, 1);
+  auto [p4, s4] = run_at(4, 1);
+  auto [p4t4, s4t4] = run_at(4, 4);
+  auto [p2t2, s2t2] = run_at(2, 2);
+  ASSERT_EQ(p1.size(), p4.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    const auto& a = p1[i].data();
+    const auto& b = p4[i].data();
+    const auto& c = p4t4[i].data();
+    const auto& d = p2t2[i].data();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j], b[j]) << "param " << i << " elem " << j << " (r1 vs r4)";
+      ASSERT_EQ(a[j], c[j]) << "param " << i << " elem " << j << " (threads)";
+      ASSERT_EQ(a[j], d[j]) << "param " << i << " elem " << j << " (r2)";
+    }
+  }
+  ASSERT_EQ(s1.final_accuracy, s4.final_accuracy);
+  ASSERT_EQ(s1.final_accuracy, s4t4.final_accuracy);
+  ASSERT_EQ(s1.final_accuracy, s2t2.final_accuracy);
+  ASSERT_EQ(s1.train_loss_per_epoch, s4.train_loss_per_epoch);
+}
+
+TEST(RankParity, RankedTrainingStillLearns) {
+  // De-risks the CI leg that reruns the Train suite under ADEPT_RANKS=4: the
+  // sharded numerics (ghost batch norm over micro-shards, tree-summed
+  // gradients) must still clear the same learning bar as the legacy loop.
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 14;
+  spec.width = 14;
+  data::SyntheticDataset train(spec, 256, 1);
+  data::SyntheticDataset test(spec, 128, 2);
+  Rng rng(1);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::dense(), rng, 4);
+  nn::TrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 32;
+  config.lr = 3e-3;
+  config.ranks = 4;
+  const auto stats = nn::train_classifier(model, train, test, config);
+  EXPECT_EQ(stats.train_loss_per_epoch.size(), 4u);
+  EXPECT_GT(stats.final_accuracy, 0.3);  // 10-class chance is 0.1
+  EXPECT_LT(stats.train_loss_per_epoch.back(), stats.train_loss_per_epoch.front());
+}
+
+TEST(RankParity, RankedTrainingRejectsUncheckpointableModels) {
+  // Supermesh-bound layers cannot be replicated across ranks; the error must
+  // say so instead of crashing a rank thread.
+  auto spec = data::DatasetSpec::mnist_like();
+  spec.height = 14;
+  spec.width = 14;
+  data::SyntheticDataset train(spec, 32, 8);
+  data::SyntheticDataset test(spec, 16, 9);
+  core::SuperMeshConfig mesh_config;
+  mesh_config.k = 4;
+  mesh_config.super_blocks_per_unitary = 2;
+  mesh_config.always_on_per_unitary = 1;
+  Rng rng(5);
+  core::SuperMesh mesh(mesh_config, rng);
+  Rng mrng(6);
+  auto model = nn::make_proxy_cnn(1, 14, 10, nn::PtcBinding::searched(&mesh),
+                                  mrng, 4);
+  nn::TrainConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.ranks = 2;
+  EXPECT_THROW(nn::train_classifier(model, train, test, config),
+               std::runtime_error);
+}
+
+}  // namespace
