@@ -10,6 +10,7 @@
 #include "backend/parallel.h"
 #include "bench_common.h"
 #include "nn/variation.h"
+#include "obs/metrics.h"
 
 namespace data = adept::data;
 namespace nn = adept::nn;
@@ -53,13 +54,26 @@ int run_json_report(const std::string& path) {
 
   adept::bench::JsonReport report("fig4");
   adept::core::SearchResult searched;
+  // Telemetry deltas around the first search: the legalization count comes
+  // from the metrics registry (counters are process-monotonic, so the delta
+  // isolates this search), the final task loss from its gauge.
+  auto legalize_count = [] {
+    const auto* c = adept::obs::snapshot().find_counter("search.legalize_count");
+    return c != nullptr ? c->value : 0;
+  };
+  const std::uint64_t legalize_before = legalize_count();
   const double search_s = adept::bench::time_once([&] {
     searched = adept::bench::run_search(k, pdk, 672, 840, scale, train, val, 71);
   });
+  const adept::obs::MetricsSnapshot search_snap = adept::obs::snapshot();
+  const auto* g_task_loss = search_snap.find_gauge("search.task_loss");
   report.add({"search",
               {{"size", static_cast<double>(k)},
                {"wall_s", search_s},
                {"epochs", static_cast<double>(scale.search_epochs)},
+               {"task_loss", g_task_loss != nullptr ? g_task_loss->value : 0.0},
+               {"legalizations",
+                static_cast<double>(legalize_count() - legalize_before)},
                {"footprint", searched.topology.footprint_um2(pdk) / 1000.0}}});
 
   // Data-parallel trajectory: the same search at explicit rank counts. The
@@ -92,10 +106,15 @@ int run_json_report(const std::string& path) {
   nn::TrainStats stats;
   const double retrain_s = adept::bench::time_once(
       [&] { stats = nn::train_classifier(model, train, test, config); });
+  const adept::obs::MetricsSnapshot train_snap = adept::obs::snapshot();
+  const auto* g_train_loss = train_snap.find_gauge("train.loss");
+  const auto* g_train_acc = train_snap.find_gauge("train.accuracy");
   report.add({"retrain_noise_aware",
               {{"size", static_cast<double>(k)},
                {"wall_s", retrain_s},
                {"epochs", static_cast<double>(scale.retrain_epochs)},
+               {"final_loss", g_train_loss != nullptr ? g_train_loss->value : 0.0},
+               {"accuracy_gauge", g_train_acc != nullptr ? g_train_acc->value : 0.0},
                {"accuracy", stats.final_accuracy}}});
 
   NoisyEval noisy{};

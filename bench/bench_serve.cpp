@@ -67,6 +67,7 @@
 #include "data/synthetic.h"
 #include "nn/models.h"
 #include "nn/train.h"
+#include "obs/metrics.h"
 #include "photonics/builders.h"
 #include "runtime/compiled_model.h"
 #include "runtime/server.h"
@@ -207,13 +208,24 @@ ServeResult measure_serving(const rt::CompiledModel& cm, int threads, int reques
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  const rt::ServerStats stats = server.stats();
+  // Read the serving telemetry straight from the metrics registry — the
+  // same instruments ServerStats views, but through the export surface the
+  // CI artifacts consume. The per-instance prefix keeps the warm-up
+  // server's records out of the measured numbers.
+  const adept::obs::MetricsSnapshot snap = adept::obs::snapshot();
+  const std::string& pfx = server.metrics_prefix();
+  const auto* lat = snap.find_histogram(pfx + "latency_ns");
+  const auto* reqs = snap.find_counter(pfx + "requests");
+  const auto* batches = snap.find_counter(pfx + "batches");
   ServeResult r;
   r.wall_s = wall;
   r.qps = requests / wall;
-  r.fill = stats.mean_batch_fill;
-  r.p50_us = stats.latency_p50_us;
-  r.p99_us = stats.latency_p99_us;
+  r.fill = (reqs != nullptr && batches != nullptr && batches->value > 0)
+               ? static_cast<double>(reqs->value) /
+                     static_cast<double>(batches->value)
+               : 0.0;
+  r.p50_us = lat != nullptr ? lat->p50 / 1e3 : 0.0;
+  r.p99_us = lat != nullptr ? lat->p99 / 1e3 : 0.0;
   return r;
 }
 
@@ -307,15 +319,21 @@ OverloadResult measure_overload(const rt::CompiledModel& cm,
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  const rt::ServerStats stats = server.stats();
+  const adept::obs::MetricsSnapshot snap = adept::obs::snapshot();
+  const std::string& pfx = server.metrics_prefix();
+  auto count_of = [&](const char* name) -> double {
+    const auto* c = snap.find_counter(pfx + name);
+    return c != nullptr ? static_cast<double>(c->value) : 0.0;
+  };
+  const auto* lat = snap.find_histogram(pfx + "latency_ns");
   const double offered = static_cast<double>(kProducers * per_producer);
   OverloadResult r;
   r.wall_s = wall;
   r.goodput_qps = completed.load() / wall;
-  r.reject_rate = static_cast<double>(stats.rejected) / offered;
-  r.shed_rate = static_cast<double>(stats.shed) / offered;
-  r.miss_rate = static_cast<double>(stats.deadline_misses) / offered;
-  r.p99_accepted_us = stats.latency_p99_us;
+  r.reject_rate = count_of("rejected") / offered;
+  r.shed_rate = count_of("shed") / offered;
+  r.miss_rate = count_of("deadline_misses") / offered;
+  r.p99_accepted_us = lat != nullptr ? lat->p99 / 1e3 : 0.0;
   return r;
 }
 

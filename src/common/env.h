@@ -68,6 +68,20 @@
 //                            "server.worker.batch=stall(5000)". Parsed once
 //                            at first site evaluation; malformed entries
 //                            throw std::invalid_argument there.
+//
+// Observability knobs consumed by src/obs/ (see docs/observability.md):
+//   ADEPT_TRACE              path — enable tracing at process start and
+//                            write a Chrome trace_event JSON there at exit
+//                            (open in Perfetto / chrome://tracing). Unset =
+//                            tracing disarmed; the per-span fast path is one
+//                            relaxed atomic load.
+//   ADEPT_METRICS_FILE       path — dump the metrics registry (counters,
+//                            gauges, histograms) as JSON at process exit.
+//                            Unset = no dump; metrics are always recorded.
+//   ADEPT_TRACE_BUF          per-thread trace ring capacity in events
+//                            (default 65536; clamps to [4096, 4194304]).
+//                            When a thread's ring fills, the oldest events
+//                            are overwritten.
 #pragma once
 
 #include <string>

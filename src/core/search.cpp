@@ -4,6 +4,8 @@
 #include <numbers>
 
 #include "comm/sharded.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "optim/schedule.h"
 
@@ -36,6 +38,18 @@ SearchResult AdeptSearcher::run(comm::Communicator* comm) {
   SearchResult result;
   const int total_steps = config_.epochs * config_.steps_per_epoch;
   const int spl_step = config_.spl_epoch * config_.steps_per_epoch;
+
+  // Search telemetry (docs/observability.md): per-step wall time + span on
+  // every rank (per-rank skew shows in the trace), loss/penalty gauges
+  // tracking the latest step, and a counter for SPL legalization events.
+  // Under data parallelism the traced values are rank-identical by the
+  // bit-exactness contract, so rank 0's gauge writes equal every rank's.
+  obs::Histogram& step_us = obs::histogram("search.step_us");
+  obs::Gauge& g_task_loss = obs::gauge("search.task_loss");
+  obs::Gauge& g_footprint_penalty = obs::gauge("search.footprint_penalty");
+  obs::Counter& legalizations = obs::counter("search.legalize_count");
+  static const obs::TraceId t_step = obs::intern_name("search.step");
+  const bool telemetry_rank = !sharded || comm->rank() == 0;
 
   AlmState alm(static_cast<std::size_t>(mesh_->total_blocks()), config_.mesh.k,
                config_.alm);
@@ -81,6 +95,11 @@ SearchResult AdeptSearcher::run(comm::Communicator* comm) {
 
   int cycle = 0;
   for (int step = 0; step < total_steps; ++step) {
+    // RAII covers both branch exits of the step body (the unsharded branch
+    // leaves via `continue`). Histogram entries on rank 0 only, so count
+    // == steps regardless of world size; spans on every rank.
+    obs::TraceSpan step_span(t_step);
+    obs::ScopedTimerUs step_timer(telemetry_rank ? &step_us : nullptr);
     const int epoch = step / config_.steps_per_epoch;
     const double tau = tau_schedule.at(step);
     weight_opt->set_lr(lr_schedule.at(step));
@@ -88,6 +107,7 @@ SearchResult AdeptSearcher::run(comm::Communicator* comm) {
     // SPL: legalize and freeze permutations, rebuild the weight optimizer
     // without them (paper: epoch 50 of 90).
     if (step == spl_step && !mesh_->permutations_frozen()) {
+      if (telemetry_rank) legalizations.inc();
       mesh_->legalize_permutations(rng_, config_.spl);
       weight_opt = std::make_unique<optim::Adam>(
           weight_params(), lr_schedule.at(step), 0.9, 0.999, 1e-8,
@@ -136,6 +156,8 @@ SearchResult AdeptSearcher::run(comm::Communicator* comm) {
       result.trace.permutation_error.push_back(
           perms.empty() ? 0.0 : alm.permutation_error(perms));
       result.trace.footprint_penalty.push_back(penalty.item());
+      g_task_loss.set(result.trace.task_loss.back());
+      g_footprint_penalty.set(result.trace.footprint_penalty.back());
       continue;
     }
 
@@ -214,9 +236,14 @@ SearchResult AdeptSearcher::run(comm::Communicator* comm) {
     result.trace.permutation_error.push_back(
         perms.empty() ? 0.0 : alm.permutation_error(perms));
     result.trace.footprint_penalty.push_back(penalty.item());
+    if (telemetry_rank) {
+      g_task_loss.set(result.trace.task_loss.back());
+      g_footprint_penalty.set(result.trace.footprint_penalty.back());
+    }
   }
 
   if (!mesh_->permutations_frozen()) {
+    if (telemetry_rank) legalizations.inc();
     mesh_->legalize_permutations(rng_, config_.spl);
   }
   result.topology = mesh_->sample_topology(rng_, config_.footprint.pdk,

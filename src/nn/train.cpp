@@ -9,6 +9,8 @@
 #include "comm/sharded.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "optim/schedule.h"
 #include "runtime/checkpoint.h"
@@ -120,9 +122,20 @@ TrainStats train_classifier_ranked(OnnModel& model,
     opt.set_pre_step_hook(
         [&] { step_scalars = cur_reducer->finish(c); });
 
+    // Per-epoch telemetry: histogram/counter/gauges on rank 0 only so the
+    // recorded counts match the single-rank path regardless of world size;
+    // spans on every rank so per-rank skew shows up in the trace.
+    obs::Histogram& h_epoch_us = obs::histogram("train.epoch_us");
+    obs::Gauge& g_loss = obs::gauge("train.loss");
+    obs::Gauge& g_acc = obs::gauge("train.accuracy");
+    obs::Counter& epochs_total = obs::counter("train.epochs");
+    static const obs::TraceId t_epoch = obs::intern_name("train.epoch");
+
     TrainStats local;
     int step = 0;
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      obs::TraceSpan epoch_span(t_epoch);
+      obs::ScopedTimerUs epoch_timer(c.rank() == 0 ? &h_epoch_us : nullptr);
       m->set_training(true);
       loader.shuffle(rng);
       double epoch_loss = 0.0;
@@ -181,6 +194,9 @@ TrainStats train_classifier_ranked(OnnModel& model,
       if (c.rank() == 0) {
         local.test_accuracy_per_epoch.push_back(
             evaluate_accuracy(*m, test_set));
+        epochs_total.inc();
+        g_loss.set(local.train_loss_per_epoch.back());
+        g_acc.set(local.test_accuracy_per_epoch.back());
         if (config.verbose) {
           std::printf("  epoch %d: loss %.4f acc %.4f\n", epoch,
                       local.train_loss_per_epoch.back(),
@@ -217,9 +233,17 @@ TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train
     model.set_phase_noise(config.train_phase_noise, config.seed ^ 0xbeef);
   }
 
+  obs::Histogram& h_epoch_us = obs::histogram("train.epoch_us");
+  obs::Gauge& g_loss = obs::gauge("train.loss");
+  obs::Gauge& g_acc = obs::gauge("train.accuracy");
+  obs::Counter& epochs_total = obs::counter("train.epochs");
+  static const obs::TraceId t_epoch = obs::intern_name("train.epoch");
+
   TrainStats stats;
   int step = 0;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::TraceSpan epoch_span(t_epoch);
+    obs::ScopedTimerUs epoch_timer(h_epoch_us);
     model.set_training(true);
     loader.shuffle(rng);
     double epoch_loss = 0.0;
@@ -241,6 +265,9 @@ TrainStats train_classifier(OnnModel& model, const data::SyntheticDataset& train
     // armed before the epoch loop keeps advancing across epochs instead of
     // replaying the same seed every epoch.
     stats.test_accuracy_per_epoch.push_back(evaluate_accuracy(model, test_set));
+    epochs_total.inc();
+    g_loss.set(stats.train_loss_per_epoch.back());
+    g_acc.set(stats.test_accuracy_per_epoch.back());
     if (config.verbose) {
       std::printf("  epoch %d: loss %.4f acc %.4f\n", epoch,
                   stats.train_loss_per_epoch.back(),

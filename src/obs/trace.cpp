@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/env.h"
+
+namespace adept::obs {
+
+namespace {
+
+struct Event {
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  TraceId id = 0;
+};
+
+// One ring per recording thread. Only the owner appends, so the mutex is
+// uncontended on the hot path; write_trace and the test hooks take it
+// briefly to copy/clear. The ring grows to `cap` and then wraps (newest
+// events win).
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::size_t cap = 0;
+  std::size_t next = 0;  // overwrite cursor once full
+  std::uint32_t tid = 0;
+};
+
+// Leaked singleton (failpoint.cpp discipline): rings and the name table
+// outlive static destruction so the atexit exporter and late threads are
+// always safe.
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::string> names{"(unnamed)"};  // id -> name; 0 reserved
+  std::map<std::string, TraceId, std::less<>> ids;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+ThreadRing& local_ring() {
+  // The shared_ptr keeps the ring alive in the global list after the
+  // owning thread exits, so write_trace at process end still sees every
+  // thread's events.
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    r->cap = static_cast<std::size_t>(trace_buffer_capacity());
+    TraceState& s = state();
+    std::lock_guard lock(s.mu);
+    r->tid = s.next_tid++;
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceId intern_name(std::string_view name) {
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  auto it = s.ids.find(name);
+  if (it != s.ids.end()) return it->second;
+  const auto id = static_cast<TraceId>(s.names.size());
+  s.names.emplace_back(name);
+  s.ids.emplace(std::string(name), id);
+  return id;
+}
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void trace_start() { g_enabled.store(true, std::memory_order_relaxed); }
+void trace_stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void trace_event(TraceId id, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  if (!tracing_enabled()) return;
+  ThreadRing& r = local_ring();
+  std::lock_guard lock(r.mu);
+  if (r.events.size() < r.cap) {
+    r.events.push_back({start_ns, dur_ns, id});
+  } else if (r.cap > 0) {
+    r.events[r.next] = {start_ns, dur_ns, id};
+    r.next = (r.next + 1) % r.cap;
+  }
+}
+
+int trace_buffer_capacity() {
+  return std::clamp(env_int("ADEPT_TRACE_BUF", 65536), 4096, 4194304);
+}
+
+bool write_trace(const std::string& path) {
+  struct TaggedEvent {
+    Event e;
+    std::uint32_t tid;
+  };
+  std::vector<TaggedEvent> all;
+  std::vector<std::string> names;
+  {
+    TraceState& s = state();
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+    {
+      std::lock_guard lock(s.mu);
+      rings = s.rings;
+      names = s.names;
+    }
+    for (const auto& r : rings) {
+      std::lock_guard lock(r->mu);
+      for (const Event& e : r->events) all.push_back({e, r->tid});
+    }
+  }
+  // Earliest-first within each thread makes the file deterministic for a
+  // given event set; viewers sort on load anyway.
+  std::sort(all.begin(), all.end(), [](const TaggedEvent& a, const TaggedEvent& b) {
+    if (a.e.start_ns != b.e.start_ns) return a.e.start_ns < b.e.start_ns;
+    return a.tid < b.tid;
+  });
+  std::uint64_t t0 = all.empty() ? 0 : all.front().e.start_ns;
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  char buf[160];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const TaggedEvent& te = all[i];
+    const std::string& name =
+        te.e.id < names.size() ? names[te.e.id] : names[0];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"adept\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                  i ? "," : "", escape_json(name).c_str(), te.tid,
+                  static_cast<double>(te.e.start_ns - t0) / 1e3,
+                  static_cast<double>(te.e.dur_ns) / 1e3);
+    out << buf;
+  }
+  out << "\n]}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(s.mu);
+    rings = s.rings;
+  }
+  std::size_t n = 0;
+  for (const auto& r : rings) {
+    std::lock_guard lock(r->mu);
+    n += r->events.size();
+  }
+  return n;
+}
+
+std::size_t trace_thread_count() {
+  TraceState& s = state();
+  std::lock_guard lock(s.mu);
+  return s.rings.size();
+}
+
+void trace_clear_for_testing() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard lock(s.mu);
+    rings = s.rings;
+  }
+  for (const auto& r : rings) {
+    std::lock_guard lock(r->mu);
+    r->events.clear();
+    r->next = 0;
+  }
+}
+
+namespace {
+
+// ADEPT_TRACE activation: arm at process start, export at exit. The path
+// is leaked so the atexit handler never races static destruction.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    std::string p = env_string("ADEPT_TRACE", "");
+    if (p.empty()) return;
+    static const std::string* path = new std::string(std::move(p));
+    trace_start();
+    std::atexit([] {
+      if (!write_trace(*path)) {
+        std::fprintf(stderr, "adept::obs: cannot write ADEPT_TRACE=%s\n",
+                     path->c_str());
+      }
+    });
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+}  // namespace adept::obs

@@ -1,0 +1,92 @@
+// Low-overhead tracing: per-thread grow-only ring buffers of binary trace
+// events (name-id, tid, start/duration in ns), exported as Chrome
+// trace_event-format JSON that chrome://tracing and Perfetto load directly.
+//
+// Discipline (same as common/failpoint.h): the DISARMED fast path is one
+// relaxed atomic load — a TraceSpan constructed while tracing is off reads
+// one flag and touches nothing else (no clock, no allocation, no lock, no
+// thread-local ring creation; tests/test_obs.cpp asserts this). Sites stay
+// compiled into release builds and cost nothing until armed.
+//
+// Armed path: trace_event() appends a 24-byte record to the calling
+// thread's ring under that ring's own mutex — uncontended in steady state
+// (only the owner writes; write_trace takes it briefly at export). Rings
+// grow to ADEPT_TRACE_BUF events (default 65536, clamped to
+// [4096, 4194304]) and then wrap, keeping the newest events.
+//
+// Span names are interned once to a TraceId (mutex-guarded; resolve at
+// setup time — constructor member, function-local static, or freeze-time
+// field like PlanStep::trace_id) so the hot path never hashes a string.
+//
+// Timebase: events carry absolute steady_clock nanoseconds; write_trace
+// subtracts the earliest timestamp, so spans measured from timestamps
+// taken on other threads (a server request's enqueue time) line up with
+// TraceSpan sections on the same clock.
+//
+// Activation: ADEPT_TRACE=out.json arms tracing at process start and
+// writes the JSON at exit; trace_start()/trace_stop()/write_trace() do the
+// same programmatically (docs/observability.md walks a real trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adept::obs {
+
+using TraceId = std::uint32_t;
+
+// Intern `name` -> id (idempotent; takes the registry mutex). Id 0 is the
+// reserved "(unnamed)" entry, so a zero-initialized id is still printable.
+TraceId intern_name(std::string_view name);
+
+// The armed flag (one relaxed load) — the whole disarmed cost of a site.
+bool tracing_enabled();
+void trace_start();
+void trace_stop();
+
+// Absolute steady_clock nanoseconds (the event timebase).
+std::uint64_t trace_now_ns();
+
+// Record a completed span on the calling thread's ring; no-op when
+// tracing is off.
+void trace_event(TraceId id, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+// Export every thread's events as Chrome trace_event JSON ("X" complete
+// events, microsecond ts/dur, displayTimeUnit ns); false on I/O failure.
+// Safe while other threads keep recording: each ring is copied under its
+// own mutex.
+bool write_trace(const std::string& path);
+
+// RAII span: arms itself from one relaxed load; when tracing is on, stamps
+// start at construction and records at destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceId id) {
+    if (!tracing_enabled()) return;
+    id_ = id;
+    start_ = trace_now_ns();
+    armed_ = true;
+  }
+  ~TraceSpan() {
+    if (armed_) trace_event(id_, start_, trace_now_ns() - start_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::uint64_t start_ = 0;
+  TraceId id_ = 0;
+  bool armed_ = false;
+};
+
+// ADEPT_TRACE_BUF clamped to [4096, 4194304] (read per call; rings capture
+// it at first event).
+int trace_buffer_capacity();
+
+// Test hooks.
+std::size_t trace_event_count();   // events currently buffered, all rings
+std::size_t trace_thread_count();  // rings created so far
+void trace_clear_for_testing();    // empty every ring (rings stay registered)
+
+}  // namespace adept::obs

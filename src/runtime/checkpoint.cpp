@@ -20,6 +20,8 @@
 #include "common/version.h"
 #include "nn/layers.h"
 #include "nn/onn_layers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adept::runtime {
 
@@ -605,11 +607,17 @@ bool transient_decode_error(const std::string& msg) {
 
 void save_checkpoint(nn::OnnModel& model, const std::string& path,
                      const photonics::Pdk* pdk) {
+  static const obs::TraceId t_save = obs::intern_name("checkpoint.save");
+  obs::TraceSpan span(t_save);
+  obs::counter("checkpoint.saves").inc();
   const std::string bytes = encode_checkpoint(model, pdk);
   write_file_atomic(path, bytes);
 }
 
 LoadedCheckpoint load_checkpoint(const std::string& path) {
+  static const obs::TraceId t_load = obs::intern_name("checkpoint.load");
+  obs::TraceSpan span(t_load);
+  obs::counter("checkpoint.loads").inc();
   constexpr int kAttempts = 3;
   for (int attempt = 1;; ++attempt) {
     try {

@@ -18,6 +18,8 @@
 #include "common/version.h"
 #include "nn/layers.h"
 #include "nn/onn_layers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace adept::runtime {
 
@@ -102,6 +104,10 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
                                     FreezeOptions options) {
   if (!model.net) fail("model has no module graph");
   if (input_dims.empty()) fail("input_dims must not be empty");
+  static const obs::TraceId t_freeze = obs::intern_name("runtime.freeze");
+  obs::TraceSpan freeze_span(t_freeze);
+  static obs::Counter& freezes = obs::counter("runtime.freezes");
+  freezes.inc();
   // Robustness seam: reload paths (Server::reload) freeze through here, so
   // tests inject freeze failures at this site to prove a failed reload
   // leaves the old model serving.
@@ -276,6 +282,15 @@ CompiledModel CompiledModel::freeze(nn::OnnModel& model,
       assign_slots(cm.steps_, options.optimize, cm.max_interm_numel_);
   assign_devices(cm.steps_, options.device);
   pack_plan(cm.steps_);
+  // Intern the per-step trace-span names now that kind/device are final:
+  // run() records spans by id only, so plan hotspots show up per step in
+  // ADEPT_TRACE output with zero string work on the hot path.
+  for (std::size_t i = 0; i < cm.steps_.size(); ++i) {
+    PlanStep& s = cm.steps_[i];
+    s.trace_id = obs::intern_name("plan.s" + std::to_string(i) + "." +
+                                  plan_kind_name(s.kind) + "@" +
+                                  be::device_name(s.device));
+  }
   cm.options_ = options;
   cm.frozen_param_version_ = param_version();
   return cm;
@@ -519,6 +534,8 @@ void CompiledModel::apply(const PlanStep& s, const be::ExecContext& ctx,
 void CompiledModel::run(const float* input, std::int64_t batch, float* output,
                         Workspace& ws) const {
   if (batch <= 0) fail("run: batch must be positive");
+  static const obs::TraceId t_run = obs::intern_name("plan.run");
+  obs::TraceSpan run_span(t_run);
   ws.slots.resize(slot_sizes_.size());
   for (std::size_t i = 0; i < slot_sizes_.size(); ++i) {
     ws.slots[i].resize(static_cast<std::size_t>(batch * slot_sizes_[i]));
@@ -552,6 +569,10 @@ void CompiledModel::run(const float* input, std::int64_t batch, float* output,
                   std::numeric_limits<float>::quiet_NaN());
       }
     }
+    // Per-step span (ids interned at freeze, tagged kind@device): the
+    // disarmed cost is one relaxed load, so the production hot loop stays
+    // as branch-free as before.
+    obs::TraceSpan step_span(s.trace_id);
 #ifdef ADEPT_STEP_PROF
     // Build-time profiling aid (docs/compiled_model.md): per-step best-case
     // latency, printed every 200 runs. Off by default — the flag is never

@@ -25,7 +25,9 @@ bool elementwise(const PlanStep& s) {
   return s.kind == PlanStep::Kind::relu || s.kind == PlanStep::Kind::batchnorm;
 }
 
-const char* kind_name(PlanStep::Kind k) {
+}  // namespace
+
+const char* plan_kind_name(PlanStep::Kind k) {
   switch (k) {
     case PlanStep::Kind::linear: return "linear";
     case PlanStep::Kind::conv: return "conv";
@@ -36,8 +38,6 @@ const char* kind_name(PlanStep::Kind k) {
   }
   return "?";
 }
-
-}  // namespace
 
 FreezeOptions FreezeOptions::from_env() {
   FreezeOptions o;
@@ -213,7 +213,7 @@ void dump_plan_steps(const std::vector<PlanStep>& steps,
   };
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const PlanStep& s = steps[i];
-    os << "#" << i << " " << kind_name(s.kind);
+    os << "#" << i << " " << plan_kind_name(s.kind);
     if (s.kind == PlanStep::Kind::linear) {
       os << " [" << s.in_feat << " -> " << s.out_feat << "]";
     } else if (s.kind == PlanStep::Kind::conv) {

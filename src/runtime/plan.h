@@ -134,6 +134,12 @@ struct PlanStep {
   // future non-host context hangs its residency decision.
   backend::Device device = backend::Device::cpu_threaded;
 
+  // Interned span name "plan.s<i>.<kind>@<device>" (obs::TraceId), filled
+  // at freeze time after the device plan settles, so CompiledModel::run's
+  // per-step trace spans never build a string on the hot path. 0 = the
+  // registry's "(unnamed)" entry (a step that never went through freeze).
+  std::uint32_t trace_id = 0;
+
   // gemm operand shape: K (reduction) and N (output columns); 0 for
   // weightless kinds.
   std::int64_t gemm_k() const {
@@ -182,6 +188,10 @@ void pack_plan(std::vector<PlanStep>& steps);
 // CompiledModel::refresh must NOT advance it when param_version is
 // unchanged (tests/test_plan.cpp).
 std::uint64_t weight_pack_count();
+
+// Lowercase kind name ("linear", "conv", ...), shared by dump_plan_steps
+// and the freeze-time trace-span interning.
+const char* plan_kind_name(PlanStep::Kind k);
 
 // Human-readable plan listing: one line per step (kind, shapes, fused
 // epilogues, quantization, slot assignment) plus the slot pool summary.

@@ -65,6 +65,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/compiled_model.h"
 #include "runtime/errors.h"
 
@@ -126,6 +128,10 @@ struct ServerConfig {
   ServerConfig clamped() const;
 };
 
+// A point-in-time view over this server's instruments in the process-wide
+// obs registry (src/obs/metrics.h) — the struct shape predates the
+// registry and is kept for callers; the same numbers are visible to
+// obs::snapshot() under the server's metrics_prefix().
 struct ServerStats {
   std::uint64_t requests = 0;   // completed requests (the goodput numerator)
   std::uint64_t batches = 0;    // forward passes executed
@@ -135,13 +141,15 @@ struct ServerStats {
   std::uint64_t reloads = 0;    // successful model swaps
   std::uint64_t model_version = 0;    // frozen_param_version of the live model
   double mean_batch_fill = 0;   // requests / batches (micro-batch fill rate)
-  // Percentiles over the most recent ~64k COMPLETED requests (bounded
-  // ring, so a long-running server neither grows without bound nor pays
-  // an ever-larger sort in stats()). Rejected/expired requests never enter
-  // the ring: these are accepted-request latencies.
+  // Percentiles over every COMPLETED request, from the registry's
+  // log-bucket latency histogram: O(1) memory for any uptime, recording is
+  // one relaxed atomic op (no stats mutex anywhere on the serving path),
+  // and the quantiles are within 6.25% of the exact-sort answer (the
+  // bucket bound; see obs::Histogram). Rejected/expired requests never
+  // enter the histogram: these are accepted-request latencies.
   double latency_p50_us = 0;    // submit -> result
   double latency_p99_us = 0;
-  double latency_max_us = 0;    // max within the same window
+  double latency_max_us = 0;    // top occupied bucket's edge (same bound)
 };
 
 class Server {
@@ -191,6 +199,12 @@ class Server {
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
 
+  // The "serve.s<N>." instrument-name prefix of this instance in the obs
+  // registry (N = construction order, process-wide), so external readers
+  // (bench_serve) can find exactly this server's counters and histograms
+  // in obs::snapshot() without cross-talk from other instances.
+  const std::string& metrics_prefix() const { return metrics_prefix_; }
+
  private:
   struct Request {
     std::vector<float> input;
@@ -213,6 +227,27 @@ class Server {
   const std::int64_t output_numel_;
   ServerConfig config_;
 
+  // Telemetry: per-instance instruments under metrics_prefix_ in the
+  // process-wide obs registry, resolved once here so every serving-path
+  // record is a single relaxed atomic op — there is no stats mutex. Trace
+  // ids name the request-lifecycle spans (queue wait, batch-form, execute,
+  // respond); the disarmed cost per span site is one relaxed load.
+  const std::string metrics_prefix_;
+  obs::Counter& requests_total_;
+  obs::Counter& batches_total_;
+  obs::Counter& rejected_total_;
+  obs::Counter& shed_total_;
+  obs::Counter& deadline_misses_total_;
+  obs::Counter& reloads_total_;
+  obs::Histogram& latency_ns_;     // submit -> result, completed requests
+  obs::Histogram& queue_wait_ns_;  // submit -> batch formation
+  const obs::TraceId trace_request_;
+  const obs::TraceId trace_queue_wait_;
+  const obs::TraceId trace_batch_form_;
+  const obs::TraceId trace_execute_;
+  const obs::TraceId trace_respond_;
+  const obs::TraceId trace_reload_;
+
   // The swappable model slot. Workers snapshot it once per micro-batch.
   mutable std::mutex model_mu_;
   std::shared_ptr<const CompiledModel> model_;
@@ -222,18 +257,6 @@ class Server {
   std::condition_variable not_full_;
   std::deque<Request> queue_;
   bool stopping_ = false;
-
-  static constexpr std::size_t kLatencyWindow = 1 << 16;
-
-  mutable std::mutex stats_mu_;
-  std::uint64_t done_requests_ = 0;
-  std::uint64_t done_batches_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t deadline_misses_ = 0;
-  std::uint64_t reloads_ = 0;
-  std::vector<double> latencies_us_;  // bounded ring of recent samples
-  std::size_t latency_cursor_ = 0;    // overwrite position once full
 
   std::vector<std::thread> workers_;
 };
